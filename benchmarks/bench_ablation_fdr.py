@@ -1,0 +1,47 @@
+"""Ablation — FDR procedure choice (paper §IV-C).
+
+The paper argues for Benjamini-Yekutieli over BH / Bonferroni / raw
+alpha.  This ablation runs one study once, then rebuilds the flag
+database under all four procedures from the *same* raw metric pairs —
+showing how much of the flag mass each correction converts to "S".
+
+Expected shape: none >= BH >= BY >= Bonferroni in significant flags.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import OUTLIERS
+from repro.core import CleanMLStudy
+from repro.datasets import load_dataset
+from repro.stats import PROCEDURES
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    study.add(load_dataset("EEG", seed=0, n_rows=BENCH_ROWS), OUTLIERS)
+    study.run()
+    return study
+
+
+def test_ablation_fdr_procedures(benchmark):
+    study = once(benchmark, run_study)
+
+    lines = ["FDR ablation on EEG x outliers (R1 flag distribution)"]
+    header = f"{'procedure':<12} {'P':>6} {'S':>6} {'N':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    significant = {}
+    for procedure in PROCEDURES:
+        database = study.build_database(procedure=procedure)
+        counts = database["R1"].distribution()["all"]
+        significant[procedure] = counts["P"] + counts["N"]
+        lines.append(
+            f"{procedure:<12} {counts['P']:>6} {counts['S']:>6} {counts['N']:>6}"
+        )
+    publish("ablation_fdr", "\n".join(lines))
+
+    # corrections can only remove significance, and BY <= BH <= none
+    assert significant["by"] <= significant["bh"] <= significant["none"]
+    assert significant["bonferroni"] <= significant["bh"]

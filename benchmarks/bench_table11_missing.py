@@ -1,0 +1,64 @@
+"""E2 — paper Table 11: query results for missing values.
+
+Runs the missing-value study population (Marketing, Titanic, Credit,
+USCensus, Airbnb, BabyProduct) through the full protocol and prints the
+Q1 / Q4.2 / Q5 tables the paper reports, on all three relations.
+
+Paper shape to reproduce: imputation mostly beats deletion (P or S
+dominate Q1), no single imputation method clearly wins (Q4.2, HoloClean
+included), and impact varies strongly across datasets (Q5).
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import MISSING_VALUES
+from repro.core import CleanMLStudy, q1, q4_repair, q5, render_query
+from repro.datasets import datasets_with, load_dataset
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    for dataset in datasets_with(MISSING_VALUES, seed=0):
+        small = load_dataset(dataset.name, seed=0, n_rows=BENCH_ROWS)
+        study.add(small, MISSING_VALUES)
+    return study.run()
+
+
+def render(database) -> str:
+    sections = []
+    for name in ("R1", "R2", "R3"):
+        sections.append(
+            render_query(
+                q1(database[name], MISSING_VALUES),
+                title=f"Q1 on {name} (E = missing values)",
+            )
+        )
+    for name in ("R1", "R2"):
+        sections.append(
+            render_query(
+                q4_repair(database[name], MISSING_VALUES),
+                title=f"Q4.2 on {name} (E = missing values)",
+                group_header="imputation",
+            )
+        )
+    sections.append(
+        render_query(
+            q5(database["R1"], MISSING_VALUES),
+            title="Q5 on R1 (E = missing values)",
+            group_header="dataset",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def test_table11_missing_values(benchmark):
+    database = once(benchmark, run_study)
+    text = publish("table11_missing_values", render(database))
+
+    counts = q1(database["R1"], MISSING_VALUES)["all"]
+    total = sum(counts.values())
+    assert total > 0
+    # paper shape: cleaning missing values is mostly P & S, not mostly N
+    assert counts["P"] + counts["S"] >= counts["N"]

@@ -1,0 +1,83 @@
+"""E4 — paper Table 13: query results for mislabels.
+
+Runs the mislabel population — Clothing (real, boundary-concentrated
+noise) plus the uniform/major/minor 5% injection variants of EEG,
+Marketing, Titanic and USCensus — through the protocol with cleanlab-
+style confident learning, and prints Q1 / Q2 / Q3 / Q5.
+
+Paper shape to reproduce: cleaning mislabels is mostly P or S overall
+(Q1), clearly more positive in the deployment scenario CD than in BD
+(Q2), and Clothing — with realistic noise — is the dataset where
+cleaning hurts most (Q5).
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import MISLABELS
+from repro.core import CleanMLStudy, q1, q2, q3, q5, render_query
+from repro.datasets import (
+    MISLABEL_INJECTION_DATASETS,
+    load_dataset,
+    mislabel_variants,
+)
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+
+def bench_population():
+    """The Table-13 population rebuilt at benchmark scale."""
+    population = [load_dataset("Clothing", seed=0, n_rows=BENCH_ROWS)]
+    for name in MISLABEL_INJECTION_DATASETS:
+        base = load_dataset(name, seed=0, n_rows=BENCH_ROWS)
+        population.extend(mislabel_variants(base, seed=0))
+    return population
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    for dataset in bench_population():
+        study.add(dataset, MISLABELS)
+    return study.run()
+
+
+def render(database) -> str:
+    sections = []
+    for name in ("R1", "R2"):
+        sections.append(
+            render_query(
+                q1(database[name], MISLABELS),
+                title=f"Q1 on {name} (E = mislabels)",
+            )
+        )
+        sections.append(
+            render_query(
+                q2(database[name], MISLABELS),
+                title=f"Q2 on {name} (E = mislabels)",
+                group_header="scenario",
+            )
+        )
+    sections.append(
+        render_query(
+            q3(database["R1"], MISLABELS),
+            title="Q3 on R1 (E = mislabels)",
+            group_header="model",
+        )
+    )
+    sections.append(
+        render_query(
+            q5(database["R1"], MISLABELS),
+            title="Q5 on R1 (E = mislabels)",
+            group_header="dataset",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def test_table13_mislabels(benchmark):
+    database = once(benchmark, run_study)
+    text = publish("table13_mislabels", render(database))
+
+    counts = q1(database["R1"], MISLABELS)["all"]
+    assert sum(counts.values()) > 0
+    # paper shape: cleaning mislabels is mostly positive or insignificant
+    assert counts["P"] + counts["S"] >= counts["N"]

@@ -1,0 +1,57 @@
+"""E5 — paper Table 14: query results for inconsistencies.
+
+Runs the inconsistency population (Company, Movie, Restaurant,
+University) through the protocol with OpenRefine-style fingerprint
+clustering and prints Q1 / Q5.
+
+Paper shape to reproduce: no negative impact at all, mostly
+insignificant, with Company (the heaviest-error dataset) showing the
+most positives.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import INCONSISTENCIES
+from repro.core import CleanMLStudy, q1, q5, render_query
+from repro.datasets import datasets_with, load_dataset
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    for dataset in datasets_with(INCONSISTENCIES, seed=0):
+        small = load_dataset(dataset.name, seed=0, n_rows=BENCH_ROWS)
+        study.add(small, INCONSISTENCIES)
+    return study.run()
+
+
+def render(database) -> str:
+    sections = []
+    for name in ("R1", "R2"):
+        sections.append(
+            render_query(
+                q1(database[name], INCONSISTENCIES),
+                title=f"Q1 on {name} (E = inconsistencies)",
+            )
+        )
+    sections.append(
+        render_query(
+            q5(database["R1"], INCONSISTENCIES),
+            title="Q5 on R1 (E = inconsistencies)",
+            group_header="dataset",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def test_table14_inconsistencies(benchmark):
+    database = once(benchmark, run_study)
+    text = publish("table14_inconsistencies", render(database))
+
+    counts = q1(database["R1"], INCONSISTENCIES)["all"]
+    total = sum(counts.values())
+    assert total > 0
+    # paper shape: overwhelmingly S, and N is rare (paper: zero)
+    assert counts["S"] >= total / 2
+    assert counts["N"] <= total * 0.2

@@ -1,0 +1,65 @@
+"""E6 — paper Table 15: query results for duplicates.
+
+Runs the duplicate population (Airbnb, Citation, Movie, Restaurant)
+through the protocol with key-collision and ZeroER detection, and prints
+Q1 / Q4.1 / Q5.
+
+Paper shape to reproduce: cleaning duplicates is the one error type
+where S and N dominate P (deleting false-positive "duplicates" loses
+information), and ZeroER — being more aggressive — is more likely to
+hurt than key collision.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import DUPLICATES
+from repro.core import CleanMLStudy, q1, q4_detection, q5, render_query
+from repro.datasets import datasets_with, load_dataset
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    for dataset in datasets_with(DUPLICATES, seed=0):
+        small = load_dataset(dataset.name, seed=0, n_rows=BENCH_ROWS)
+        study.add(small, DUPLICATES)
+    return study.run()
+
+
+def render(database) -> str:
+    sections = []
+    for name in ("R1", "R2", "R3"):
+        sections.append(
+            render_query(
+                q1(database[name], DUPLICATES),
+                title=f"Q1 on {name} (E = duplicates)",
+            )
+        )
+    for name in ("R1", "R2"):
+        sections.append(
+            render_query(
+                q4_detection(database[name], DUPLICATES),
+                title=f"Q4.1 on {name} (E = duplicates)",
+                group_header="detection",
+            )
+        )
+    sections.append(
+        render_query(
+            q5(database["R1"], DUPLICATES),
+            title="Q5 on R1 (E = duplicates)",
+            group_header="dataset",
+        )
+    )
+    return "\n\n".join(sections)
+
+
+def test_table15_duplicates(benchmark):
+    database = once(benchmark, run_study)
+    text = publish("table15_duplicates", render(database))
+
+    counts = q1(database["R1"], DUPLICATES)["all"]
+    total = sum(counts.values())
+    assert total > 0
+    # paper shape: S + N together dominate P for duplicate cleaning
+    assert counts["S"] + counts["N"] >= counts["P"]

@@ -1,0 +1,55 @@
+"""E7 — paper Table 16: summary of empirical findings per error type.
+
+Runs a reduced sweep — one representative dataset per error type — and
+derives the Table-16 summary (dominant flag pattern per error type) from
+R1, plus the relation row counts the paper quotes in §IV-C.
+
+Paper shape to reproduce: duplicates mostly S & N, inconsistencies
+mostly S, missing values mostly P & S, mislabels mostly P & S, outliers
+mostly S.
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import (
+    DUPLICATES,
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+)
+from repro.core import CleanMLStudy, relation_sizes, render_summary_table
+from repro.datasets import load_dataset, mislabel_variants
+
+from .common import BENCH_CONFIG, BENCH_ROWS, once, publish
+
+#: one representative dataset per error type (kept small on purpose)
+REPRESENTATIVES = {
+    MISSING_VALUES: "USCensus",
+    OUTLIERS: "EEG",
+    DUPLICATES: "Restaurant",
+    INCONSISTENCIES: "Company",
+}
+
+
+def run_study():
+    study = CleanMLStudy(BENCH_CONFIG)
+    for error_type, name in REPRESENTATIVES.items():
+        study.add(load_dataset(name, seed=0, n_rows=BENCH_ROWS), error_type)
+    base = load_dataset("Titanic", seed=0, n_rows=BENCH_ROWS)
+    study.add(mislabel_variants(base, seed=0)[0], MISLABELS)
+    return study.run()
+
+
+def test_table16_summary(benchmark):
+    database = once(benchmark, run_study)
+    sizes = relation_sizes(database)
+    text = render_summary_table(database)
+    text += "\n\nrelation sizes: " + ", ".join(
+        f"{name}={count}" for name, count in sizes.items()
+    )
+    publish("table16_summary", text)
+
+    assert sizes["R1"] > sizes["R2"] > sizes["R3"]
+    for error_type in REPRESENTATIVES:
+        assert error_type in text

@@ -1,0 +1,80 @@
+"""E8 — paper Table 17: cleaning mixed error types vs a single type.
+
+For the multi-error datasets (Credit: missing+outliers; Restaurant and
+Movie: inconsistencies+duplicates; Airbnb: missing+outliers+duplicates),
+compare the best model under *mixed* cleaning (Cartesian product of
+per-type methods) against the best model under *single-type* cleaning,
+with R3-style selection on both arms.
+
+Paper shape to reproduce: mixed cleaning rarely hurts; the one negative
+case is inconsistency+duplicates vs inconsistency alone (because
+duplicate cleaning tends to hurt); adding missing-value or outlier
+cleaning on top of anything is safe.
+
+The Cartesian product is the expensive part, so the method space per
+type is a small representative subset (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.cleaning import (
+    DUPLICATES,
+    INCONSISTENCIES,
+    MISSING_VALUES,
+    OUTLIERS,
+    ImputationCleaning,
+    InconsistencyCleaning,
+    KeyCollisionCleaning,
+    OutlierCleaning,
+    ZeroERCleaning,
+)
+from repro.core import render_comparison_table, run_mixed_study
+from repro.datasets import load_dataset
+
+from .common import BENCH_ROWS, TINY_CONFIG, once, publish
+
+#: reduced per-type method spaces for the Cartesian product
+METHOD_SUBSETS = {
+    MISSING_VALUES: lambda: [
+        ImputationCleaning("mean", "mode"),
+        ImputationCleaning("median", "dummy"),
+    ],
+    OUTLIERS: lambda: [
+        OutlierCleaning("SD", "mean"),
+        OutlierCleaning("IQR", "median"),
+    ],
+    DUPLICATES: lambda: [KeyCollisionCleaning(), ZeroERCleaning()],
+    INCONSISTENCIES: lambda: [InconsistencyCleaning()],
+}
+
+DATASETS = ("Credit", "Restaurant", "Movie", "Airbnb")
+
+
+def run_study():
+    rows = []
+    for name in DATASETS:
+        dataset = load_dataset(name, seed=0, n_rows=BENCH_ROWS)
+        methods = {
+            error_type: METHOD_SUBSETS[error_type]()
+            for error_type in dataset.error_types
+        }
+        rows.extend(
+            run_mixed_study(dataset, TINY_CONFIG, methods_by_type=methods)
+        )
+    return rows
+
+
+def test_table17_mixed_errors(benchmark):
+    rows = once(benchmark, run_study)
+    text = render_comparison_table(
+        rows,
+        title="Table 17: mixed error types vs single error type "
+        "(P = mixed wins)",
+        columns=["dataset", "mixed_types", "single_type"],
+    )
+    publish("table17_mixed", text)
+
+    assert len(rows) == 2 + 2 + 2 + 3  # one row per single type per dataset
+    # paper shape: negative outcomes are rare
+    negatives = sum(row.flag.value == "N" for row in rows)
+    assert negatives <= len(rows) / 2

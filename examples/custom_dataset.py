@@ -1,0 +1,100 @@
+"""Extending CleanML with your own dataset.
+
+The paper emphasizes that the study is extensible: "adding new datasets,
+error types, cleaning algorithms, or ML models — the code for running
+experiments and for performing result analysis can be reused without
+modification."  This example builds a custom dataset from scratch (a
+loan-approval table with planted MAR missingness), wraps it in the
+:class:`~repro.datasets.Dataset` abstraction, and runs the standard
+protocol on it unchanged.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro import CleanMLStudy, StudyConfig, Table, make_schema
+from repro.core import q1, q4_repair, render_query
+from repro.datasets import Dataset, attach_row_ids, inject_missing, sigmoid
+
+
+def build_loans(n_rows: int = 300, seed: int = 0) -> Dataset:
+    """A loan-approval table: income and credit score drive approval."""
+    rng = np.random.default_rng(seed)
+    income = rng.lognormal(10.5, 0.5, n_rows)
+    credit_score = np.clip(rng.normal(680.0, 60.0, n_rows), 300.0, 850.0)
+    debt = rng.lognormal(9.0, 0.8, n_rows)
+    employment = rng.choice(
+        ["salaried", "self_employed", "unemployed"], size=n_rows, p=[0.7, 0.2, 0.1]
+    )
+    score = (
+        0.004 * (credit_score - 680.0)
+        + 0.5 * np.log(income / income.mean())
+        - 0.3 * np.log(debt / debt.mean())
+        - 1.0 * (employment == "unemployed").astype(float)
+    )
+    approved = rng.random(n_rows) < sigmoid(2.0 * score)
+    labels = np.where(approved, "approved", "rejected").astype(object)
+
+    schema = make_schema(
+        numeric=["income", "credit_score", "debt"],
+        categorical=["employment"],
+        label="decision",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "income": income.tolist(),
+                "credit_score": credit_score.tolist(),
+                "debt": debt.tolist(),
+                "employment": employment.tolist(),
+                "decision": labels.tolist(),
+            },
+        )
+    )
+    # applicants with high debt skip the income question (MAR)
+    dirty = inject_missing(clean, ["income"], 0.3, rng, driver="debt")
+    return Dataset(
+        name="Loans",
+        dirty=dirty,
+        clean=clean,
+        error_types=("missing_values",),
+        description="custom loan-approval dataset with MAR missing income",
+    )
+
+
+def main() -> None:
+    dataset = build_loans()
+    missing_rows = len(dataset.dirty.rows_with_missing())
+    print(
+        f"built {dataset.name}: {dataset.dirty.n_rows} rows, "
+        f"{missing_rows} rows with missing income\n"
+    )
+
+    config = StudyConfig(
+        n_splits=8,
+        cv_folds=2,
+        models=("logistic_regression", "knn", "naive_bayes"),
+        seed=0,
+    )
+    study = CleanMLStudy(config)
+    study.add(dataset, "missing_values")
+    database = study.run(progress=lambda ds, et: print(f"running {ds} x {et} ..."))
+
+    print()
+    print(render_query(q1(database["R1"], "missing_values"), title="Q1 on R1"))
+    print()
+    print(
+        render_query(
+            q4_repair(database["R1"], "missing_values"),
+            title="Q4.2 on R1 — per imputation method",
+            group_header="imputation",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

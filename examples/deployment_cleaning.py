@@ -1,0 +1,57 @@
+"""Model-deployment scenario (CD): should you clean incoming test data?
+
+The paper's second scenario asks whether an already-deployed model
+benefits from cleaning the data it predicts on.  Mislabels show the
+starkest contrast between the two scenarios: cleaning training labels
+(BD) often changes little, but cleaning *test* labels (CD) changes
+measured accuracy directly.
+
+This example injects 5% uniform mislabels into the Titanic dataset,
+cleans with confident learning (cleanlab-style), and prints per-scenario
+flag distributions.
+
+Run with::
+
+    python examples/deployment_cleaning.py
+"""
+
+from repro import CleanMLStudy, StudyConfig, load_dataset
+from repro.core import q2, render_query
+from repro.datasets import mislabel_variants
+
+
+def main() -> None:
+    config = StudyConfig(
+        n_splits=10,
+        cv_folds=2,
+        models=("logistic_regression", "adaboost", "xgboost"),
+        model_overrides={"adaboost": {"n_estimators": 15}, "xgboost": {"n_estimators": 15}},
+        seed=0,
+    )
+
+    base = load_dataset("Titanic", seed=0, n_rows=300)
+    uniform, major, minor = mislabel_variants(base, seed=0)
+    print(f"variants: {uniform.name}, {major.name}, {minor.name}\n")
+
+    study = CleanMLStudy(config)
+    for variant in (uniform, major, minor):
+        study.add(variant, "mislabels")
+    database = study.run(progress=lambda ds, et: print(f"running {ds} ..."))
+
+    print()
+    print(
+        render_query(
+            q2(database["R1"], "mislabels"),
+            title="Q2 on R1 — flag distribution per scenario",
+            group_header="scenario",
+        )
+    )
+    print(
+        "\nThe paper's reading: cleaning mislabeled *test* data (CD) is "
+        "far more likely to look positive,\nbecause fixing test labels "
+        "directly converts false positives back into true positives."
+    )
+
+
+if __name__ == "__main__":
+    main()

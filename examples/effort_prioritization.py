@@ -1,0 +1,56 @@
+"""Prioritized human cleaning — the paper's §VIII future-work direction.
+
+If a human can only clean part of the data, which rows first?  This
+example runs the ActiveClean/CPClean-inspired effort study shipped as an
+extension (see ``repro.core.active``) in ActiveClean's original setting:
+the model trains on dirty EEG data except for the rows the human fixed,
+and is evaluated on a gold test set.  Three prioritization policies
+decide which detected-outlier rows the human cleans first.
+
+Run with::
+
+    python examples/effort_prioritization.py
+"""
+
+from repro import StudyConfig, load_dataset
+from repro.cleaning import IdentityCleaning, OutlierCleaning
+from repro.core import render_effort_curves, run_effort_study
+
+
+def main() -> None:
+    config = StudyConfig(
+        n_splits=6,
+        cv_folds=2,
+        models=("knn",),
+        seed=0,
+    )
+    dataset = load_dataset("EEG", seed=0, n_rows=250)
+    detector = OutlierCleaning("IQR", "mean").fit(dataset.dirty)
+    worklist = int(detector.affected_rows(dataset.dirty).sum())
+    print(f"dataset: {dataset.name}, {worklist} rows flagged as outliers\n")
+
+    curves = run_effort_study(
+        dataset,
+        "outliers",
+        fallback=IdentityCleaning(),
+        detector=OutlierCleaning("IQR", "mean"),
+        config=config,
+        budgets=(0.0, 0.1, 0.25, 0.5, 1.0),
+        model="knn",
+    )
+    print(
+        render_effort_curves(
+            curves,
+            title="mean gold-test accuracy vs fraction of flagged rows cleaned",
+        )
+    )
+    print(
+        "\nReading: accuracy climbs as the human cleans more of the "
+        "flagged rows and all\npolicies converge at 100% budget — each "
+        "unit of effort has measurable value,\nthe premise of ActiveClean "
+        "and CPClean."
+    )
+
+
+if __name__ == "__main__":
+    main()

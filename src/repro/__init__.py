@@ -1,0 +1,79 @@
+"""CleanML reproduction: the impact of data cleaning on ML classification.
+
+Reproduction of Li et al., "CleanML: A Study for Evaluating the Impact
+of Data Cleaning on ML Classification Tasks" (ICDE 2021).  The public
+API re-exports the pieces a study author needs:
+
+* datasets — 14 generators emulating the paper's corpora (Table 3);
+* cleaning — detection/repair per error type (Table 2);
+* ml — the seven classifiers plus robust-ML baselines;
+* stats — paired t-tests, BY/BH/Bonferroni, flag logic;
+* core — the study runner, the R1/R2/R3 database, Q1-Q5, and the
+  §VII mixed-error / robust-ML / human-cleaning studies.
+
+Quickstart::
+
+    from repro import CleanMLStudy, StudyConfig, load_dataset
+
+    study = CleanMLStudy(StudyConfig(n_splits=5))
+    study.add(load_dataset("EEG"), "outliers")
+    database = study.run()
+    print(database["R1"].distribution())
+"""
+
+from .cleaning import (
+    DUPLICATES,
+    ERROR_TYPES,
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+    CleaningMethod,
+    methods_for,
+)
+from .core import (
+    CleanMLDatabase,
+    CleanMLStudy,
+    ErrorTypeRun,
+    Scenario,
+    StudyConfig,
+    run_human_study,
+    run_mixed_study,
+    run_robustml_study,
+)
+from .datasets import DATASET_NAMES, Dataset, datasets_with, load_dataset
+from .ml import MODEL_NAMES, make_model
+from .stats import Flag, paired_t_test
+from .table import Table, make_schema, train_test_split
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CleanMLDatabase",
+    "CleanMLStudy",
+    "CleaningMethod",
+    "DATASET_NAMES",
+    "DUPLICATES",
+    "Dataset",
+    "ERROR_TYPES",
+    "ErrorTypeRun",
+    "Flag",
+    "INCONSISTENCIES",
+    "MISLABELS",
+    "MISSING_VALUES",
+    "MODEL_NAMES",
+    "OUTLIERS",
+    "Scenario",
+    "StudyConfig",
+    "Table",
+    "datasets_with",
+    "load_dataset",
+    "make_model",
+    "make_schema",
+    "methods_for",
+    "paired_t_test",
+    "run_human_study",
+    "run_mixed_study",
+    "run_robustml_study",
+    "train_test_split",
+]

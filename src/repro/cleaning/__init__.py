@@ -1,0 +1,91 @@
+"""Cleaning substrate: detection + repair for the five CleanML error types."""
+
+from .base import (
+    DUPLICATES,
+    ERROR_TYPES,
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+    CleaningMethod,
+    IdentityCleaning,
+    NotFittedError,
+)
+from .duplicates import KeyCollisionCleaning, UnionFind, deduplicate
+from .holoclean import (
+    HoloCleanEngine,
+    HoloCleanMissingCleaning,
+    HoloCleanOutlierCleaning,
+)
+from .human import ROW_ID, OracleCleaning
+from .inconsistencies import (
+    InconsistencyCleaning,
+    RuleBasedInconsistencyCleaning,
+    cluster_values,
+    fingerprint,
+)
+from .isolation_forest import IsolationForest
+from .knn_impute import KNNImputationCleaning
+from .mislabels import ConfidentLearningCleaning
+from .missing import (
+    DUMMY_VALUE,
+    DeletionCleaning,
+    ImputationCleaning,
+    detect_missing_rows,
+    simple_imputation_methods,
+)
+from .outliers import OutlierCleaning, OutlierDetector
+from .registry import (
+    dirty_baseline,
+    duplicate_methods,
+    inconsistency_methods,
+    methods_for,
+    mislabel_methods,
+    missing_value_methods,
+    outlier_methods,
+)
+from .zeroer import PairFeaturizer, TwoComponentGaussianMixture, ZeroERCleaning
+
+__all__ = [
+    "CleaningMethod",
+    "ConfidentLearningCleaning",
+    "DUMMY_VALUE",
+    "DUPLICATES",
+    "DeletionCleaning",
+    "ERROR_TYPES",
+    "HoloCleanEngine",
+    "HoloCleanMissingCleaning",
+    "HoloCleanOutlierCleaning",
+    "INCONSISTENCIES",
+    "IdentityCleaning",
+    "ImputationCleaning",
+    "InconsistencyCleaning",
+    "IsolationForest",
+    "KNNImputationCleaning",
+    "KeyCollisionCleaning",
+    "MISLABELS",
+    "MISSING_VALUES",
+    "NotFittedError",
+    "OUTLIERS",
+    "OracleCleaning",
+    "OutlierCleaning",
+    "OutlierDetector",
+    "PairFeaturizer",
+    "ROW_ID",
+    "RuleBasedInconsistencyCleaning",
+    "TwoComponentGaussianMixture",
+    "UnionFind",
+    "ZeroERCleaning",
+    "cluster_values",
+    "deduplicate",
+    "detect_missing_rows",
+    "dirty_baseline",
+    "duplicate_methods",
+    "fingerprint",
+    "inconsistency_methods",
+    "methods_for",
+    "mislabel_methods",
+    "missing_value_methods",
+    "outlier_methods",
+    "simple_imputation_methods",
+]

@@ -1,0 +1,117 @@
+"""Cleaning-method abstraction.
+
+Every entry of the paper's Table 2 is a (detection, repair) pair packaged
+as a :class:`CleaningMethod`: ``fit`` learns whatever statistics the
+method needs **from the training split only** (paper §IV-A step 2 — "all
+statistics necessary for data cleaning, such as mean, are computed only
+on the training set"), and ``transform`` applies the fitted method to any
+table, train or test.
+
+Error-type identifiers are centralised here so relations, queries and
+registries all spell them the same way.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..table import Table
+
+#: canonical error-type identifiers (paper §III-B order)
+MISSING_VALUES = "missing_values"
+OUTLIERS = "outliers"
+DUPLICATES = "duplicates"
+INCONSISTENCIES = "inconsistencies"
+MISLABELS = "mislabels"
+
+ERROR_TYPES = (
+    MISSING_VALUES,
+    OUTLIERS,
+    DUPLICATES,
+    INCONSISTENCIES,
+    MISLABELS,
+)
+
+
+class CleaningMethod(ABC):
+    """One (detection, repair) pair from Table 2.
+
+    Subclasses set :attr:`error_type`, :attr:`detection` and
+    :attr:`repair` class attributes and implement :meth:`fit` /
+    :meth:`transform`.  ``transform`` must return a *new* table; row
+    counts may change (deletion repairs, duplicate removal) and labels
+    may change (mislabel repair), but schemas never do.
+    """
+
+    error_type: str
+    detection: str
+    repair: str
+
+    @property
+    def name(self) -> str:
+        """Human-readable "detection/repair" identifier."""
+        return f"{self.detection}/{self.repair}"
+
+    @abstractmethod
+    def fit(self, train: Table) -> "CleaningMethod":
+        """Learn detection thresholds / repair statistics from ``train``."""
+
+    @abstractmethod
+    def transform(self, table: Table) -> Table:
+        """Apply the fitted cleaning to ``table`` (train or test)."""
+
+    def fit_transform(self, train: Table) -> Table:
+        """Convenience: ``fit(train)`` then ``transform(train)``."""
+        return self.fit(train).transform(train)
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        """Boolean mask of rows the fitted method would touch.
+
+        Default implementation compares ``transform`` output row-by-row,
+        which is correct but slow; subclasses that know their detections
+        override it.  Only meaningful for row-preserving methods.
+        """
+        cleaned = self.transform(table)
+        if cleaned.n_rows != table.n_rows:
+            raise ValueError(
+                "affected_rows() is undefined for row-dropping methods"
+            )
+        changed = np.zeros(table.n_rows, dtype=bool)
+        for i in range(table.n_rows):
+            changed[i] = cleaned.row(i) != table.row(i)
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.error_type}: {self.name})"
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``transform`` is called before ``fit``."""
+
+
+def check_fitted(method: CleaningMethod, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``attribute`` exists."""
+    if not hasattr(method, attribute):
+        raise NotFittedError(
+            f"{type(method).__name__} must be fitted before transform()"
+        )
+
+
+class IdentityCleaning(CleaningMethod):
+    """No-op cleaning — the "dirty" arm of a comparison.
+
+    Useful wherever the runner needs a uniform interface for the
+    uncleaned variant.
+    """
+
+    error_type = "none"
+    detection = "None"
+    repair = "None"
+
+    def fit(self, train: Table) -> "IdentityCleaning":
+        return self
+
+    def transform(self, table: Table) -> Table:
+        return table

@@ -1,0 +1,62 @@
+"""Sequential composition of cleaning methods (paper §VII-A).
+
+Mixed-error cleaning applies one method per error type in sequence.  The
+composite is itself a :class:`CleaningMethod`: fitting proceeds stage by
+stage, each stage fitted on the output of the previous stages — the same
+leakage-free discipline as single-method cleaning, since every stage
+still only ever sees training data.
+"""
+
+from __future__ import annotations
+
+from ..table import Table
+from .base import CleaningMethod
+
+#: canonical application order for mixed cleaning: structural errors
+#: first (dedupe, normalize spellings), then cell-level repairs, then
+#: labels — later stages benefit from earlier normalization
+STAGE_ORDER = (
+    "inconsistencies",
+    "duplicates",
+    "missing_values",
+    "outliers",
+    "mislabels",
+)
+
+
+class CompositeCleaning(CleaningMethod):
+    """Apply several cleaning methods in a fixed, sensible order."""
+
+    def __init__(self, methods: list[CleaningMethod]) -> None:
+        if not methods:
+            raise ValueError("composite needs at least one method")
+        types = [m.error_type for m in methods]
+        if len(set(types)) != len(types):
+            raise ValueError("one method per error type in a composite")
+        self.methods = sorted(
+            methods,
+            key=lambda m: STAGE_ORDER.index(m.error_type)
+            if m.error_type in STAGE_ORDER
+            else len(STAGE_ORDER),
+        )
+        self.error_type = "+".join(m.error_type for m in self.methods)
+
+    @property
+    def detection(self) -> str:  # type: ignore[override]
+        return "+".join(m.detection for m in self.methods)
+
+    @property
+    def repair(self) -> str:  # type: ignore[override]
+        return "+".join(m.repair for m in self.methods)
+
+    def fit(self, train: Table) -> "CompositeCleaning":
+        stage_input = train
+        for method in self.methods:
+            method.fit(stage_input)
+            stage_input = method.transform(stage_input)
+        return self
+
+    def transform(self, table: Table) -> Table:
+        for method in self.methods:
+            table = method.transform(table)
+        return table

@@ -1,0 +1,116 @@
+"""Duplicate detection and repair (paper §III-B-3).
+
+Two detectors:
+
+* **Key collision** — records agreeing on the schema's key attributes
+  are duplicates (missing key values never collide);
+* **ZeroER** — unsupervised entity resolution over pair-similarity
+  features (in :mod:`repro.cleaning.zeroer`).
+
+Repair is always the same: inside each duplicate cluster, keep the first
+record and delete the rest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+from .base import DUPLICATES, CleaningMethod, check_fitted
+
+
+class UnionFind:
+    """Disjoint sets over 0..n-1 — groups duplicate pairs into clusters."""
+
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        """Root of x's set (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing a and b (lower root wins)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[max(ra, rb)] = min(ra, rb)
+
+    def clusters(self) -> dict[int, list[int]]:
+        """root -> sorted member list, only for clusters of size > 1."""
+        groups: dict[int, list[int]] = {}
+        for i in range(len(self._parent)):
+            groups.setdefault(self.find(i), []).append(i)
+        return {root: members for root, members in groups.items() if len(members) > 1}
+
+
+def deduplicate(table: Table, pairs: list[tuple[int, int]]) -> Table:
+    """Keep the first row of every duplicate cluster implied by ``pairs``."""
+    union = UnionFind(table.n_rows)
+    for a, b in pairs:
+        union.union(a, b)
+    drop: set[int] = set()
+    for members in union.clusters().values():
+        drop.update(members[1:])
+    keep = np.array([i not in drop for i in range(table.n_rows)], dtype=bool)
+    return table.mask(keep)
+
+
+def duplicate_row_mask(n_rows: int, pairs: list[tuple[int, int]]) -> np.ndarray:
+    """Rows that would be deleted by :func:`deduplicate`."""
+    union = UnionFind(n_rows)
+    for a, b in pairs:
+        union.union(a, b)
+    mask = np.zeros(n_rows, dtype=bool)
+    for members in union.clusters().values():
+        mask[members[1:]] = True
+    return mask
+
+
+class KeyCollisionCleaning(CleaningMethod):
+    """Declare rows duplicates when their key attributes coincide.
+
+    The key columns come from ``schema.keys``; with no keys declared, all
+    categorical feature columns act as the key (a conservative default).
+    """
+
+    error_type = DUPLICATES
+    detection = "KeyCollision"
+    repair = "Deletion"
+
+    def fit(self, train: Table) -> "KeyCollisionCleaning":
+        self._key_columns = list(train.schema.keys) or list(
+            train.schema.categorical_features
+        )
+        return self
+
+    def collisions(self, table: Table) -> list[tuple[int, int]]:
+        """All colliding (i, j) pairs, i < j."""
+        check_fitted(self, "_key_columns")
+        groups: dict[tuple, list[int]] = {}
+        for i in range(table.n_rows):
+            key = []
+            for name in self._key_columns:
+                value = table.column(name).values[i]
+                if value is None or (isinstance(value, float) and np.isnan(value)):
+                    key = None  # a missing key never collides
+                    break
+                key.append(value)
+            if key is None:
+                continue
+            groups.setdefault(tuple(key), []).append(i)
+        pairs = []
+        for members in groups.values():
+            anchor = members[0]
+            pairs.extend((anchor, other) for other in members[1:])
+        return pairs
+
+    def transform(self, table: Table) -> Table:
+        return deduplicate(table, self.collisions(table))
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        return duplicate_row_mask(table.n_rows, self.collisions(table))

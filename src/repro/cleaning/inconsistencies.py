@@ -1,0 +1,141 @@
+"""Inconsistency detection and repair (paper §III-B-4).
+
+OpenRefine's text-facet clustering is, under the hood, *fingerprint key
+collision*: normalize a string (lowercase, strip punctuation, split,
+sort, dedupe tokens) and cluster values sharing a fingerprint — "U.S.
+Bank" and "US Bank" collide on ``"bank us"``.  Repair merges every value
+in a cluster into the cluster's most frequent raw value, exactly the
+paper's "merge all values in one cluster into the most frequent one".
+
+Canonical values are learned from the training split and reused on test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Column, Table
+from .base import INCONSISTENCIES, CleaningMethod, check_fitted
+
+# common abbreviation expansions applied before fingerprinting; mirrors
+# the normalization users configure in OpenRefine for entity-ish columns
+_EXPANSIONS = {
+    "st": "street",
+    "ave": "avenue",
+    "dr": "drive",
+    "rd": "road",
+    "univ": "university",
+    "inst": "institute",
+    "dept": "department",
+    "intl": "international",
+    "corp": "corporation",
+    "inc": "incorporated",
+    "co": "company",
+    "usa": "us",
+}
+
+
+def fingerprint(value: str) -> str:
+    """OpenRefine's fingerprint key: normalize, tokenize, sort, dedupe.
+
+    Punctuation is *removed* (not replaced by spaces), matching
+    OpenRefine's keyer — "U.S." and "US" both normalize to "us".
+    """
+    cleaned = "".join(
+        c.lower() if c.isalnum() or c.isspace() else "" for c in value.strip()
+    )
+    tokens = sorted({_EXPANSIONS.get(token, token) for token in cleaned.split()})
+    return " ".join(tokens)
+
+
+def cluster_values(values: list[str]) -> dict[str, list[str]]:
+    """fingerprint -> distinct raw values sharing it (insertion order)."""
+    clusters: dict[str, dict[str, None]] = {}
+    for value in values:
+        clusters.setdefault(fingerprint(value), {}).setdefault(value, None)
+    return {key: list(raw) for key, raw in clusters.items()}
+
+
+class InconsistencyCleaning(CleaningMethod):
+    """Fingerprint clustering + merge-to-most-frequent.
+
+    ``fit`` builds, per categorical feature column, a map from raw value
+    to the canonical (most frequent) value of its fingerprint cluster;
+    ``transform`` rewrites matching values.  Values whose fingerprint was
+    never seen in training pass through unchanged.
+    """
+
+    error_type = INCONSISTENCIES
+    detection = "OpenRefine"
+    repair = "Merge"
+
+    def fit(self, train: Table) -> "InconsistencyCleaning":
+        self._canonical: dict[str, dict[str, str]] = {}
+        for name in train.schema.categorical_features:
+            counts = train.column(name).value_counts()
+            clusters = cluster_values(list(counts))
+            mapping: dict[str, str] = {}
+            for raw_values in clusters.values():
+                if len(raw_values) < 2:
+                    continue
+                winner = max(raw_values, key=lambda v: (counts.get(v, 0), v))
+                for raw in raw_values:
+                    if raw != winner:
+                        mapping[raw] = winner
+            if mapping:
+                self._canonical[name] = mapping
+        return self
+
+    def inconsistent_cells(self, table: Table) -> dict[str, np.ndarray]:
+        """Per-column masks of cells holding a non-canonical spelling."""
+        check_fitted(self, "_canonical")
+        masks: dict[str, np.ndarray] = {}
+        for name, mapping in self._canonical.items():
+            values = table.column(name).values
+            masks[name] = np.array(
+                [value in mapping for value in values], dtype=bool
+            )
+        return masks
+
+    def transform(self, table: Table) -> Table:
+        check_fitted(self, "_canonical")
+        out = table
+        for name, mapping in self._canonical.items():
+            column = out.column(name)
+            if not any(value in mapping for value in column.values):
+                continue
+            values = column.values.copy()
+            for i, value in enumerate(values):
+                if value in mapping:
+                    values[i] = mapping[value]
+            out = out.with_column(name, Column(values, column.ctype))
+        return out
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        masks = self.inconsistent_cells(table)
+        if not masks:
+            return np.zeros(table.n_rows, dtype=bool)
+        return np.logical_or.reduce(list(masks.values()))
+
+
+class RuleBasedInconsistencyCleaning(InconsistencyCleaning):
+    """Human-curated cleaning rules (paper §VII-C, denial-constraint style).
+
+    Instead of learning clusters from data, the caller supplies explicit
+    ``{column: {wrong value: right value}}`` rules — the code path the
+    paper's "manually curate data quality rules" comparison exercises.
+    """
+
+    detection = "Rules"
+    repair = "Merge"
+
+    def __init__(self, rules: dict[str, dict[str, str]]) -> None:
+        self._rules = {col: dict(mapping) for col, mapping in rules.items()}
+
+    def fit(self, train: Table) -> "RuleBasedInconsistencyCleaning":
+        self._canonical = {
+            name: dict(mapping)
+            for name, mapping in self._rules.items()
+            if name in train.schema.categorical_features
+        }
+        return self

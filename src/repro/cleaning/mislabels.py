@@ -1,0 +1,156 @@
+"""Mislabel detection and repair via confident learning (paper §III-B-5).
+
+The paper cleans mislabels with *cleanlab*, whose published algorithm is
+confident learning (Northcutt et al.): estimate the joint distribution of
+(noisy label, true label) from out-of-sample predicted probabilities and
+per-class confidence thresholds, then prune/fix the examples most likely
+mislabeled.  This module implements that algorithm:
+
+1. k-fold cross-validated probabilities on the training split (a bag of
+   fold models doubles as the probability source for unseen tables);
+2. class thresholds ``t_j = mean p_j over examples labeled j``;
+3. the confident joint ``C[i][j]``: examples labeled ``i`` whose
+   probability for ``j`` reaches ``t_j`` (argmax over qualifying ``j``);
+4. off-diagonal mass identifies label issues, pruned by noise rate —
+   for each ``i != j``, the ``C[i][j]`` examples labeled ``i`` with the
+   largest ``p_j`` are flagged;
+5. repair relabels flagged examples to the model's argmax class.
+
+Like every cleaning method, all statistics are learned on train and then
+applied to either split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.linear import LogisticRegression
+from ..table import Table
+from ..table.encode import FeatureEncoder, LabelEncoder
+from ..table.split import kfold_indices
+from .base import MISLABELS, CleaningMethod, check_fitted
+
+
+class ConfidentLearningCleaning(CleaningMethod):
+    """cleanlab-style mislabel cleaning.
+
+    Parameters
+    ----------
+    n_folds:
+        Cross-validation folds for out-of-sample probabilities.
+    seed:
+        Controls the fold assignment.
+    """
+
+    error_type = MISLABELS
+    detection = "cleanlab"
+    repair = "cleanlab"
+
+    def __init__(self, n_folds: int = 5, seed: int | None = None) -> None:
+        self.n_folds = n_folds
+        self.seed = seed
+
+    def fit(self, train: Table) -> "ConfidentLearningCleaning":
+        self._encoder = FeatureEncoder().fit(train.features_table())
+        self._labeler = LabelEncoder().fit(train.labels)
+        X = self._encoder.transform(train.features_table())
+        y = self._labeler.transform(train.labels)
+        n_classes = self._labeler.n_classes
+
+        rng = np.random.default_rng(self.seed)
+        n_folds = max(2, min(self.n_folds, len(y)))
+        self._fold_models: list[LogisticRegression] = []
+        out_of_sample = np.zeros((len(y), n_classes))
+        for train_idx, val_idx in kfold_indices(len(y), n_folds, rng):
+            model = LogisticRegression()
+            model.fit(X[train_idx], y[train_idx])
+            proba = model.predict_proba(X[val_idx])
+            out_of_sample[val_idx, : proba.shape[1]] = proba
+            self._fold_models.append(model)
+
+        self._thresholds = _class_thresholds(out_of_sample, y, n_classes)
+        return self
+
+    # -- confident-learning core ------------------------------------------------
+
+    def find_label_issues(
+        self, proba: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Boolean mask of likely-mislabeled examples.
+
+        Implements the confident joint + prune-by-noise-rate rule using
+        the thresholds fitted on the training split.
+        """
+        check_fitted(self, "_thresholds")
+        n_classes = len(self._thresholds)
+        n = len(y)
+
+        # confident joint: example counted at (given i, confident j)
+        confident_class = np.full(n, -1)
+        for example in range(n):
+            qualifying = np.nonzero(proba[example] >= self._thresholds)[0]
+            if len(qualifying) == 0:
+                continue
+            confident_class[example] = qualifying[
+                np.argmax(proba[example, qualifying])
+            ]
+
+        issues = np.zeros(n, dtype=bool)
+        for given in range(n_classes):
+            for confident in range(n_classes):
+                if given == confident:
+                    continue
+                members = np.nonzero(
+                    (y == given) & (confident_class == confident)
+                )[0]
+                count = len(members)
+                if count == 0:
+                    continue
+                candidates = np.nonzero(y == given)[0]
+                ranked = candidates[
+                    np.argsort(-proba[candidates, confident])
+                ][:count]
+                issues[ranked] = True
+        return issues
+
+    def predict_proba(self, table: Table) -> np.ndarray:
+        """Averaged fold-model probabilities (out-of-fold-ish for train)."""
+        check_fitted(self, "_fold_models")
+        X = self._encoder.transform(table.features_table())
+        total = np.zeros((table.n_rows, self._labeler.n_classes))
+        for model in self._fold_models:
+            proba = model.predict_proba(X)
+            total[:, : proba.shape[1]] += proba
+        return total / len(self._fold_models)
+
+    # -- CleaningMethod interface -------------------------------------------------
+
+    def transform(self, table: Table) -> Table:
+        check_fitted(self, "_thresholds")
+        proba = self.predict_proba(table)
+        y = self._labeler.transform(table.labels)
+        issues = self.find_label_issues(proba, y)
+        if not issues.any():
+            return table
+        repaired = y.copy()
+        repaired[issues] = np.argmax(proba[issues], axis=1)
+        return table.replace_labels(self._labeler.inverse_transform(repaired))
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        proba = self.predict_proba(table)
+        y = self._labeler.transform(table.labels)
+        return self.find_label_issues(proba, y)
+
+
+def _class_thresholds(
+    proba: np.ndarray, y: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """t_j = mean predicted probability of class j over examples labeled j."""
+    thresholds = np.zeros(n_classes)
+    for cls in range(n_classes):
+        members = y == cls
+        if members.any():
+            thresholds[cls] = proba[members, cls].mean()
+        else:
+            thresholds[cls] = 1.1  # unobserved class: nothing qualifies
+    return thresholds

@@ -1,0 +1,146 @@
+"""Missing-value detection and repair (paper §III-B-1).
+
+Detection is trivial — empty / NaN entries.  Repairs:
+
+* **Deletion** — drop rows with missing feature values (the paper's
+  "dirty" baseline for missing values, c.f. Table 5);
+* **six simple imputations** — {mean, median, mode} for numeric columns
+  crossed with {mode, dummy} for categorical columns;
+* **HoloClean** — probabilistic inference (in
+  :mod:`repro.cleaning.holoclean`, registered via the registry).
+
+All imputation statistics come from the training split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Column, Table
+from .base import MISSING_VALUES, CleaningMethod, check_fitted
+
+NUMERIC_STRATEGIES = ("mean", "median", "mode")
+CATEGORICAL_STRATEGIES = ("mode", "dummy")
+
+#: the placeholder category used by dummy imputation
+DUMMY_VALUE = "missing"
+
+
+def detect_missing_rows(table: Table) -> np.ndarray:
+    """Boolean mask of rows with at least one missing feature cell."""
+    mask = np.zeros(table.n_rows, dtype=bool)
+    mask[table.rows_with_missing()] = True
+    return mask
+
+
+class DeletionCleaning(CleaningMethod):
+    """Drop every row that has a missing feature value.
+
+    Stateless (nothing to learn from train), but keeps the common
+    interface.  The paper treats this as the *dirty* variant: a model
+    cannot train on literal NaNs, so deletion is the do-nothing option.
+    """
+
+    error_type = MISSING_VALUES
+    detection = "EmptyEntries"
+    repair = "Deletion"
+
+    def fit(self, train: Table) -> "DeletionCleaning":
+        self._fitted = True
+        return self
+
+    def transform(self, table: Table) -> Table:
+        check_fitted(self, "_fitted")
+        return table.mask(~detect_missing_rows(table))
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        return detect_missing_rows(table)
+
+
+class ImputationCleaning(CleaningMethod):
+    """Simple imputation: numeric strategy x categorical strategy.
+
+    Parameters
+    ----------
+    numeric:
+        ``"mean"``, ``"median"`` or ``"mode"`` — the training-split
+        statistic that fills numeric holes.
+    categorical:
+        ``"mode"`` (most frequent training value) or ``"dummy"`` (a
+        literal ``"missing"`` category).
+    """
+
+    error_type = MISSING_VALUES
+    detection = "EmptyEntries"
+
+    def __init__(self, numeric: str = "mean", categorical: str = "mode") -> None:
+        if numeric not in NUMERIC_STRATEGIES:
+            raise ValueError(f"numeric strategy must be one of {NUMERIC_STRATEGIES}")
+        if categorical not in CATEGORICAL_STRATEGIES:
+            raise ValueError(
+                f"categorical strategy must be one of {CATEGORICAL_STRATEGIES}"
+            )
+        self.numeric = numeric
+        self.categorical = categorical
+
+    @property
+    def repair(self) -> str:  # type: ignore[override]
+        """Paper-style name, e.g. "MeanDummy"."""
+        return f"{self.numeric.capitalize()}{self.categorical.capitalize()}"
+
+    def fit(self, train: Table) -> "ImputationCleaning":
+        self._numeric_fill: dict[str, float] = {}
+        self._categorical_fill: dict[str, str | None] = {}
+        for name in train.schema.numeric_features:
+            column = train.column(name)
+            if self.numeric == "mean":
+                value = column.mean()
+            elif self.numeric == "median":
+                value = column.median()
+            else:
+                value = column.mode()
+            self._numeric_fill[name] = 0.0 if _is_nan(value) else float(value)
+        for name in train.schema.categorical_features:
+            if self.categorical == "dummy":
+                self._categorical_fill[name] = DUMMY_VALUE
+            else:
+                mode = train.column(name).mode()
+                self._categorical_fill[name] = DUMMY_VALUE if mode is None else mode
+        return self
+
+    def transform(self, table: Table) -> Table:
+        check_fitted(self, "_numeric_fill")
+        out = table
+        for name, fill in self._numeric_fill.items():
+            column = out.column(name)
+            if column.n_missing() == 0:
+                continue
+            values = column.values.copy()
+            values[np.isnan(values)] = fill
+            out = out.with_column(name, Column(values, column.ctype))
+        for name, fill in self._categorical_fill.items():
+            column = out.column(name)
+            if column.n_missing() == 0:
+                continue
+            values = column.values.copy()
+            for i, value in enumerate(values):
+                if value is None:
+                    values[i] = fill
+            out = out.with_column(name, Column(values, column.ctype))
+        return out
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        return detect_missing_rows(table)
+
+
+def simple_imputation_methods() -> list[ImputationCleaning]:
+    """The six imputation variants of Table 2, in paper order."""
+    return [
+        ImputationCleaning(numeric=numeric, categorical=categorical)
+        for numeric in NUMERIC_STRATEGIES
+        for categorical in CATEGORICAL_STRATEGIES
+    ]
+
+
+def _is_nan(value) -> bool:
+    return isinstance(value, float) and np.isnan(value)

@@ -1,0 +1,112 @@
+"""Paper Table 2 as code: every (detection, repair) pair per error type.
+
+``methods_for(error_type)`` returns fresh, unfitted cleaning methods in
+the paper's order.  The runner iterates these to populate R1, and R3's
+cleaning-method selection searches over exactly this space.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    DUPLICATES,
+    ERROR_TYPES,
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+    CleaningMethod,
+)
+from .duplicates import KeyCollisionCleaning
+from .holoclean import HoloCleanMissingCleaning, HoloCleanOutlierCleaning
+from .inconsistencies import InconsistencyCleaning
+from .mislabels import ConfidentLearningCleaning
+from .missing import DeletionCleaning, simple_imputation_methods
+from .outliers import DETECTORS, REPAIRS, OutlierCleaning
+from .zeroer import ZeroERCleaning
+
+
+def missing_value_methods(include_holoclean: bool = True) -> list[CleaningMethod]:
+    """The seven imputation repairs of Table 2 (deletion is the baseline)."""
+    methods: list[CleaningMethod] = list(simple_imputation_methods())
+    if include_holoclean:
+        methods.append(HoloCleanMissingCleaning())
+    return methods
+
+
+def outlier_methods(
+    include_holoclean: bool = True, random_state: int | None = None
+) -> list[CleaningMethod]:
+    """Detector x repair grid: {SD, IQR, IF} x {mean, median, mode, HoloClean}."""
+    methods: list[CleaningMethod] = []
+    for detector in DETECTORS:
+        for strategy in REPAIRS:
+            methods.append(
+                OutlierCleaning(
+                    detector=detector, strategy=strategy, random_state=random_state
+                )
+            )
+        if include_holoclean:
+            methods.append(
+                HoloCleanOutlierCleaning(detector=detector, random_state=random_state)
+            )
+    return methods
+
+
+def duplicate_methods(include_zeroer: bool = True) -> list[CleaningMethod]:
+    """Key collision and ZeroER, both repaired by deletion."""
+    methods: list[CleaningMethod] = [KeyCollisionCleaning()]
+    if include_zeroer:
+        methods.append(ZeroERCleaning())
+    return methods
+
+
+def inconsistency_methods() -> list[CleaningMethod]:
+    """OpenRefine-style fingerprint clustering with merge repair."""
+    return [InconsistencyCleaning()]
+
+
+def mislabel_methods(seed: int | None = None) -> list[CleaningMethod]:
+    """cleanlab-style confident learning."""
+    return [ConfidentLearningCleaning(seed=seed)]
+
+
+def methods_for(
+    error_type: str,
+    include_advanced: bool = True,
+    random_state: int | None = None,
+) -> list[CleaningMethod]:
+    """Fresh cleaning methods for ``error_type`` in the paper's order.
+
+    ``include_advanced=False`` drops the academic methods (HoloClean,
+    ZeroER), leaving only the simple practitioners' toolbox — the knob
+    the ablation benchmarks use.
+    """
+    if error_type == MISSING_VALUES:
+        return missing_value_methods(include_holoclean=include_advanced)
+    if error_type == OUTLIERS:
+        return outlier_methods(
+            include_holoclean=include_advanced, random_state=random_state
+        )
+    if error_type == DUPLICATES:
+        return duplicate_methods(include_zeroer=include_advanced)
+    if error_type == INCONSISTENCIES:
+        return inconsistency_methods()
+    if error_type == MISLABELS:
+        return mislabel_methods(seed=random_state)
+    raise ValueError(
+        f"unknown error type {error_type!r}; choose from {ERROR_TYPES}"
+    )
+
+
+def dirty_baseline(error_type: str) -> CleaningMethod:
+    """The transformation producing the "dirty" variant of a dataset.
+
+    For missing values the paper's dirty baseline is deletion (Table 5 —
+    models cannot run on NaNs); for every other error type it is the
+    identity.
+    """
+    from .base import IdentityCleaning
+
+    if error_type == MISSING_VALUES:
+        return DeletionCleaning()
+    return IdentityCleaning()

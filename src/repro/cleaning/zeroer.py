@@ -1,0 +1,312 @@
+"""ZeroER-style unsupervised entity resolution (Wu et al., SIGMOD 2020).
+
+ZeroER's core idea: similarity feature vectors of record pairs follow a
+two-component generative mixture — one component for matches, one for
+unmatches — whose parameters can be learned with EM using **zero labeled
+examples**.  This module reproduces that pipeline:
+
+1. **Blocking** — candidate pairs share at least one token in some
+   categorical field (or all pairs when the table is small);
+2. **Featurization** — per categorical column: token-Jaccard and exact
+   match; per numeric column: ``exp(-|a-b| / scale)`` with the training
+   column's std as scale;
+3. **EM** over a two-component diagonal Gaussian mixture, initialized
+   from the overall-similarity extremes;
+4. pairs whose match-component posterior exceeds a threshold are
+   duplicates; union-find clusters them and all but the first record of
+   each cluster are deleted.
+
+The mixture is fitted on the training split and reused to score test
+pairs, keeping the fit-on-train discipline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table import Table
+from .base import DUPLICATES, CleaningMethod, check_fitted
+from .duplicates import deduplicate, duplicate_row_mask
+
+_SMALL_TABLE = 400  # below this, skip blocking and enumerate all pairs
+
+
+def tokenize(value: str | None) -> set[str]:
+    """Lower-cased alphanumeric tokens of a cell value."""
+    if value is None:
+        return set()
+    cleaned = "".join(c.lower() if c.isalnum() else " " for c in str(value))
+    return {token for token in cleaned.split() if token}
+
+
+def candidate_pairs(table: Table, columns: list[str]) -> list[tuple[int, int]]:
+    """Blocked candidate pairs (i, j) with i < j.
+
+    Small tables are enumerated exhaustively; larger ones use token
+    blocking over the given categorical columns.
+    """
+    n = table.n_rows
+    if n <= _SMALL_TABLE:
+        return [(i, j) for i in range(n) for j in range(i + 1, n)]
+    buckets: dict[str, list[int]] = {}
+    for i in range(n):
+        tokens: set[str] = set()
+        for name in columns:
+            tokens |= tokenize(table.column(name).values[i])
+        for token in tokens:
+            buckets.setdefault(token, []).append(i)
+    pairs: set[tuple[int, int]] = set()
+    for members in buckets.values():
+        if len(members) > 50:  # stop-token guard
+            continue
+        for a_pos, a in enumerate(members):
+            for b in members[a_pos + 1 :]:
+                pairs.add((a, b))
+    return sorted(pairs)
+
+
+class PairFeaturizer:
+    """Similarity feature vectors for record pairs.
+
+    Scales for numeric distances are learned from the training table so
+    train and test pairs live in the same feature space.  Categorical
+    similarities are weighted by the column's *uniqueness ratio*
+    (distinct values / rows): agreeing on a near-key column like a name
+    is strong identity evidence, agreeing on a 5-value city column is
+    not.  Without this, the mixture model separates "same city" from
+    "different city" instead of match from unmatch.
+    """
+
+    def fit(self, train: Table) -> "PairFeaturizer":
+        self.categorical = list(train.schema.categorical_features)
+        self.numeric = list(train.schema.numeric_features)
+        self.scales = {}
+        for name in self.numeric:
+            std = train.column(name).std()
+            self.scales[name] = std if std and not np.isnan(std) and std > 0 else 1.0
+        self.weights = {}
+        n_rows = max(train.n_rows, 1)
+        for name in self.categorical:
+            distinct = len(train.column(name).unique())
+            self.weights[name] = max(distinct / n_rows, 0.05)
+        self.n_features = 2 * len(self.categorical) + len(self.numeric)
+        return self
+
+    def features(self, table: Table, pairs: list[tuple[int, int]]) -> np.ndarray:
+        """Similarity feature matrix, one row per candidate pair."""
+        out = np.zeros((len(pairs), self.n_features))
+        token_cache: dict[tuple[str, int], set[str]] = {}
+
+        def tokens(name: str, row: int) -> set[str]:
+            key = (name, row)
+            if key not in token_cache:
+                token_cache[key] = tokenize(table.column(name).values[row])
+            return token_cache[key]
+
+        for p, (a, b) in enumerate(pairs):
+            col = 0
+            for name in self.categorical:
+                weight = self.weights[name]
+                ta, tb = tokens(name, a), tokens(name, b)
+                union = len(ta | tb)
+                jaccard = len(ta & tb) / union if union else 0.0
+                out[p, col] = weight * jaccard
+                va = table.column(name).values[a]
+                vb = table.column(name).values[b]
+                exact = 1.0 if (va is not None and va == vb) else 0.0
+                out[p, col + 1] = weight * exact
+                col += 2
+            for name in self.numeric:
+                va = table.column(name).values[a]
+                vb = table.column(name).values[b]
+                if np.isnan(va) or np.isnan(vb):
+                    out[p, col] = 0.0
+                else:
+                    out[p, col] = np.exp(-abs(va - vb) / self.scales[name])
+                col += 1
+        return out
+
+
+class TwoComponentGaussianMixture:
+    """Diagonal-covariance GMM with exactly two components, fitted by EM.
+
+    Component 1 is pinned to the high-similarity side at initialization,
+    so its posterior is the match probability.
+
+    Parameters
+    ----------
+    update:
+        ``"all"`` runs classic EM (means, variances and weights all
+        adapt).  ``"weights"`` freezes the component *shapes* at their
+        seeded values and lets only the mixing weights adapt — ZeroER's
+        regularized regime, which stops the match component from drifting
+        down and absorbing a large moderately-similar pair population
+        (e.g. "records from the same city").
+    seed_fraction:
+        Fraction of the most-similar pairs used to seed the match
+        component; ``None`` picks the seed adaptively by cutting at the
+        largest similarity gap in the top tail (the right choice when
+        the true duplicate count is unknown).
+    var_floor:
+        Lower bound on every per-feature variance; similarity features
+        live in [0, 1], so the default tolerates small perturbations
+        around the seed without collapsing to a point mass.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        update: str = "all",
+        seed_fraction: float | None = 0.05,
+        var_floor: float = 1e-4,
+    ) -> None:
+        if update not in ("all", "weights"):
+            raise ValueError("update must be 'all' or 'weights'")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.update = update
+        self.seed_fraction = seed_fraction
+        self.var_floor = var_floor
+
+    def fit(self, X: np.ndarray) -> "TwoComponentGaussianMixture":
+        X = np.asarray(X, dtype=np.float64)
+        n = len(X)
+        if n < 4:
+            raise ValueError("need at least 4 pairs to fit the mixture")
+        overall = X.mean(axis=1)
+        order = np.argsort(overall)
+        if self.seed_fraction is None:
+            n_seed = _gap_seed_count(overall[order])
+        else:
+            n_seed = max(2, int(n * self.seed_fraction))
+        top = X[order[-n_seed:]]
+        bottom = X[order[:-n_seed]]
+
+        self.weights = np.array([1.0 - n_seed / n, n_seed / n])
+        self.means = np.vstack([bottom.mean(axis=0), top.mean(axis=0)])
+        self.vars = np.vstack(
+            [
+                bottom.var(axis=0) + self.var_floor,
+                top.var(axis=0) + self.var_floor,
+            ]
+        )
+
+        previous = -np.inf
+        for _ in range(self.max_iter):
+            resp, log_likelihood = self._e_step(X)
+            self._m_step(X, resp)
+            if abs(log_likelihood - previous) < self.tol:
+                break
+            previous = log_likelihood
+        return self
+
+    def _log_density(self, X: np.ndarray) -> np.ndarray:
+        out = np.zeros((len(X), 2))
+        for k in range(2):
+            diff = X - self.means[k]
+            out[:, k] = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.vars[k]) + diff**2 / self.vars[k],
+                axis=1,
+            ) + np.log(max(self.weights[k], 1e-12))
+        return out
+
+    def _e_step(self, X: np.ndarray) -> tuple[np.ndarray, float]:
+        log_joint = self._log_density(X)
+        shift = log_joint.max(axis=1, keepdims=True)
+        joint = np.exp(log_joint - shift)
+        total = joint.sum(axis=1, keepdims=True)
+        resp = joint / total
+        log_likelihood = float(np.sum(np.log(total) + shift))
+        return resp, log_likelihood
+
+    def _m_step(self, X: np.ndarray, resp: np.ndarray) -> None:
+        for k in range(2):
+            mass = resp[:, k].sum()
+            if mass < 1e-9:
+                continue
+            self.weights[k] = mass / len(X)
+            if self.update == "weights":
+                continue
+            self.means[k] = (resp[:, k][:, None] * X).sum(axis=0) / mass
+            diff = X - self.means[k]
+            self.vars[k] = np.maximum(
+                (resp[:, k][:, None] * diff**2).sum(axis=0) / mass,
+                self.var_floor,
+            )
+
+    def match_posterior(self, X: np.ndarray) -> np.ndarray:
+        """P(match component | x) for each row of X."""
+        resp, _ = self._e_step(np.asarray(X, dtype=np.float64))
+        # component 1 was initialized on the similar side, but EM can swap;
+        # the component with the larger mean similarity is "match"
+        match = int(np.argmax(self.means.mean(axis=1)))
+        return resp[:, match]
+
+
+def _gap_seed_count(sorted_similarity: np.ndarray, max_fraction: float = 0.05) -> int:
+    """Seed size chosen at the largest gap in the top similarity tail.
+
+    Scans the ``max_fraction`` most-similar pairs (ascending input) and
+    cuts where consecutive similarities jump the most — duplicates sit
+    above a visible gap, arbitrary similar-ish pairs do not.
+    """
+    n = len(sorted_similarity)
+    tail = max(4, int(n * max_fraction))
+    tail = min(tail, n - 1)
+    top = sorted_similarity[-tail - 1 :]
+    gaps = np.diff(top)
+    cut = int(np.argmax(gaps))
+    return max(2, len(top) - 1 - cut)
+
+
+class ZeroERCleaning(CleaningMethod):
+    """Unsupervised duplicate cleaning via the ZeroER mixture model.
+
+    Parameters
+    ----------
+    threshold:
+        Match-posterior cutoff above which a pair is a duplicate.
+    """
+
+    error_type = DUPLICATES
+    detection = "ZeroER"
+    repair = "Deletion"
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+
+    def fit(self, train: Table) -> "ZeroERCleaning":
+        self._featurizer = PairFeaturizer().fit(train)
+        pairs = candidate_pairs(train, self._featurizer.categorical)
+        self._mixture: TwoComponentGaussianMixture | None = None
+        if len(pairs) >= 4:
+            X = self._featurizer.features(train, pairs)
+            # ZeroER's regularized regime: a small seeded match component
+            # with frozen shape, so EM cannot drift into "similar-ish"
+            # pair populations (the paper's false-positive tendency shows
+            # up as an over-eager seed instead)
+            self._mixture = TwoComponentGaussianMixture(
+                update="weights", seed_fraction=None
+            ).fit(X)
+        return self
+
+    def matched_pairs(self, table: Table) -> list[tuple[int, int]]:
+        """Pairs the fitted model declares duplicates."""
+        check_fitted(self, "_featurizer")
+        if self._mixture is None:
+            return []
+        pairs = candidate_pairs(table, self._featurizer.categorical)
+        if not pairs:
+            return []
+        X = self._featurizer.features(table, pairs)
+        posterior = self._mixture.match_posterior(X)
+        return [pair for pair, p in zip(pairs, posterior) if p > self.threshold]
+
+    def transform(self, table: Table) -> Table:
+        return deduplicate(table, self.matched_pairs(table))
+
+    def affected_rows(self, table: Table) -> np.ndarray:
+        return duplicate_row_mask(table.n_rows, self.matched_pairs(table))

@@ -1,0 +1,168 @@
+"""Command-line interface for running CleanML studies.
+
+Usage::
+
+    python -m repro list                 # datasets and their error types
+    python -m repro run EEG outliers     # one dataset x error type study
+    python -m repro run --all missing_values
+    python -m repro describe Titanic     # schema + error audit
+
+Options mirror :class:`~repro.core.StudyConfig`; the defaults are a fast
+laptop configuration, ``--paper`` switches to the paper's full protocol
+(20 splits, 5-fold CV, all models).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cleaning.base import ERROR_TYPES
+from .core import CleanMLStudy, StudyConfig, render_error_type_report
+from .core.reporting import relation_sizes
+from .datasets import (
+    DATASET_NAMES,
+    audit_dataset,
+    datasets_with,
+    load_dataset,
+    render_audits,
+)
+from .ml.registry import MODEL_NAMES
+from .table.ops import summarize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CleanML reproduction: impact of data cleaning on ML",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list datasets and their error types")
+
+    describe = commands.add_parser("describe", help="summarize one dataset")
+    describe.add_argument("dataset", choices=DATASET_NAMES)
+    describe.add_argument("--seed", type=int, default=0)
+
+    run = commands.add_parser("run", help="run a study and print Q1-Q5")
+    run.add_argument(
+        "dataset",
+        help=f"dataset name or --all; one of {', '.join(DATASET_NAMES)}",
+    )
+    run.add_argument("error_type", choices=ERROR_TYPES)
+    run.add_argument("--all", action="store_true", dest="all_datasets",
+                     help="run the whole error-type population")
+    run.add_argument("--splits", type=int, default=8)
+    run.add_argument("--cv-folds", type=int, default=2)
+    run.add_argument("--rows", type=int, default=None,
+                     help="subsample datasets to this many rows")
+    run.add_argument("--models", nargs="+", default=None, choices=MODEL_NAMES)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--search-iters", type=int, default=0)
+    run.add_argument("--paper", action="store_true",
+                     help="the paper's protocol: 20 splits, 5-fold CV, all models")
+    run.add_argument("--fdr", default="by",
+                     choices=("none", "bonferroni", "bh", "by"))
+    return parser
+
+
+def command_list() -> int:
+    """Print every dataset with its metric and error types."""
+    width = max(len(name) for name in DATASET_NAMES)
+    for name in DATASET_NAMES:
+        dataset = load_dataset(name, seed=0)
+        errors = ", ".join(dataset.error_types)
+        metric = dataset.metric
+        print(f"{name:<{width}}  [{metric:>8}]  {errors}")
+    return 0
+
+
+def command_describe(args) -> int:
+    """Print one dataset's schema summary and error audit."""
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    print(f"{dataset.name}: {dataset.description}")
+    print(f"error types: {', '.join(dataset.error_types)}")
+    print(f"rows: dirty={dataset.dirty.n_rows} clean={dataset.clean.n_rows}")
+    print(f"metric: {dataset.metric}\n")
+    print(f"{'column':<16} {'type':<12} {'missing':>8}  notes")
+    for name, info in summarize(dataset.dirty).items():
+        if name in dataset.dirty.schema.hidden:
+            continue
+        notes = ""
+        if "n_unique" in info:
+            notes = f"{info['n_unique']} distinct"
+        elif "mean" in info:
+            notes = f"mean={info['mean']:.2f} std={info['std']:.2f}"
+        print(f"{name:<16} {info['type']:<12} {info['missing']:>8}  {notes}")
+    print()
+    print(render_audits([audit_dataset(dataset)]))
+    return 0
+
+
+def command_run(args) -> int:
+    """Run a study and print all applicable Q1-Q5 reports."""
+    if args.paper:
+        config = StudyConfig(
+            n_splits=20, cv_folds=5, seed=args.seed,
+            search_iters=args.search_iters, fdr_procedure=args.fdr,
+        )
+    else:
+        config = StudyConfig(
+            n_splits=args.splits,
+            cv_folds=args.cv_folds,
+            models=tuple(args.models) if args.models else MODEL_NAMES,
+            seed=args.seed,
+            search_iters=args.search_iters,
+            fdr_procedure=args.fdr,
+        )
+
+    overrides = {"n_rows": args.rows} if args.rows else {}
+    if args.all_datasets:
+        population = datasets_with(args.error_type, seed=args.seed)
+        if args.rows:
+            population = [
+                load_dataset(d.name, seed=args.seed, **overrides)
+                if "_" not in d.name
+                else d
+                for d in population
+            ]
+    else:
+        if args.dataset not in DATASET_NAMES:
+            print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
+            return 2
+        population = [load_dataset(args.dataset, seed=args.seed, **overrides)]
+
+    study = CleanMLStudy(config)
+    for dataset in population:
+        if not dataset.has(args.error_type):
+            print(
+                f"skipping {dataset.name}: no {args.error_type}",
+                file=sys.stderr,
+            )
+            continue
+        study.add(dataset, args.error_type)
+    database = study.run(
+        progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr)
+    )
+    print(render_error_type_report(database, args.error_type))
+    sizes = relation_sizes(database)
+    print(
+        "\nrelation sizes: "
+        + ", ".join(f"{name}={count}" for name, count in sizes.items())
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return command_list()
+    if args.command == "describe":
+        return command_describe(args)
+    return command_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

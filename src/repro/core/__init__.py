@@ -1,0 +1,114 @@
+"""Core study engine: relations, runner, queries, the §VII studies, and
+the §VIII extensions (prioritized cleaning, regression, persistence)."""
+
+from .active import (
+    EffortCurve,
+    render_effort_curves,
+    run_effort_study,
+)
+from .humanclean import HumanCleaningComparison, human_cleaner, run_human_study
+from .mixed import MixedComparison, method_space, run_mixed_study
+from .persistence import (
+    load_experiments,
+    load_study,
+    merge_studies,
+    save_experiments,
+    save_study,
+)
+from .queries import (
+    all_queries,
+    format_distribution,
+    q1,
+    q2,
+    q3,
+    q4_detection,
+    q4_repair,
+    q5,
+    render_query,
+)
+from .regression import (
+    RegressionResult,
+    render_regression_results,
+    run_regression_study,
+)
+from .relations import CleanMLDatabase, Relation
+from .reporting import (
+    dominant_pattern,
+    relation_sizes,
+    render_comparison_table,
+    render_error_type_report,
+    render_summary_table,
+)
+from .robustml import RobustMLComparison, run_robustml_study
+from .runner import (
+    ErrorTypeRun,
+    RawExperiment,
+    StudyConfig,
+    TrainedModel,
+    derive_seed,
+    scenarios_for,
+)
+from .schema import (
+    RELATION_KEYS,
+    RELATION_NAMES,
+    ExperimentRow,
+    MetricPair,
+    Scenario,
+)
+from .selection import BestCleaned, EvaluationContext
+from .study import CleanMLStudy
+from .techreport import generate_report, write_report
+
+__all__ = [
+    "BestCleaned",
+    "CleanMLDatabase",
+    "CleanMLStudy",
+    "EffortCurve",
+    "ErrorTypeRun",
+    "EvaluationContext",
+    "ExperimentRow",
+    "HumanCleaningComparison",
+    "MetricPair",
+    "MixedComparison",
+    "RELATION_KEYS",
+    "RELATION_NAMES",
+    "RawExperiment",
+    "RegressionResult",
+    "Relation",
+    "RobustMLComparison",
+    "Scenario",
+    "StudyConfig",
+    "TrainedModel",
+    "all_queries",
+    "derive_seed",
+    "dominant_pattern",
+    "format_distribution",
+    "generate_report",
+    "human_cleaner",
+    "load_experiments",
+    "load_study",
+    "merge_studies",
+    "method_space",
+    "q1",
+    "q2",
+    "q3",
+    "q4_detection",
+    "q4_repair",
+    "q5",
+    "relation_sizes",
+    "render_comparison_table",
+    "render_effort_curves",
+    "render_error_type_report",
+    "render_query",
+    "render_regression_results",
+    "render_summary_table",
+    "run_effort_study",
+    "run_human_study",
+    "run_regression_study",
+    "run_mixed_study",
+    "run_robustml_study",
+    "save_experiments",
+    "save_study",
+    "scenarios_for",
+    "write_report",
+]

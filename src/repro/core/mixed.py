@@ -1,0 +1,122 @@
+"""Mixed-error cleaning study (paper §VII-A, Table 17).
+
+For datasets carrying multiple error types, compare the best model
+obtained by cleaning *all* error types (cleaning space = Cartesian
+product of per-type methods, composed in a fixed order) against the best
+model obtained by cleaning a *single* error type — both with R3-style
+model and cleaning-method selection, over the usual splits and t-tests.
+Flag **P** means mixed cleaning beat single-type cleaning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..cleaning.base import CleaningMethod
+from ..cleaning.composite import CompositeCleaning
+from ..cleaning.registry import methods_for
+from ..datasets.base import Dataset
+from ..stats.flags import Flag, flags_with_fdr
+from ..stats.ttest import PairedTTestResult, paired_t_test
+from ..table import train_test_split
+from .runner import StudyConfig, derive_seed
+from .schema import MetricPair
+from .selection import EvaluationContext
+
+
+@dataclass(frozen=True)
+class MixedComparison:
+    """One Table-17 row: mixed vs one single error type on one dataset."""
+
+    dataset: str
+    mixed_types: tuple[str, ...]
+    single_type: str
+    flag: Flag
+    test: PairedTTestResult
+    pairs: tuple[MetricPair, ...]
+
+
+def method_space(
+    dataset: Dataset,
+    config: StudyConfig,
+    methods_by_type: dict[str, list[CleaningMethod]] | None = None,
+) -> dict[str, list[CleaningMethod]]:
+    """Cleaning methods per error type the dataset carries.
+
+    ``methods_by_type`` overrides the full registry space — benchmarks
+    pass small subsets because the Cartesian product grows fast.
+    """
+    space: dict[str, list[CleaningMethod]] = {}
+    for error_type in dataset.error_types:
+        if methods_by_type and error_type in methods_by_type:
+            space[error_type] = methods_by_type[error_type]
+        else:
+            space[error_type] = methods_for(
+                error_type,
+                include_advanced=config.include_advanced_cleaning,
+                random_state=config.seed,
+            )
+    return space
+
+
+def run_mixed_study(
+    dataset: Dataset,
+    config: StudyConfig,
+    methods_by_type: dict[str, list[CleaningMethod]] | None = None,
+) -> list[MixedComparison]:
+    """Table 17 for one multi-error dataset: one comparison per type.
+
+    Note: like the paper (footnote 3), mixed combinations never include
+    mislabels, because no dataset carries coexisting real mislabels and
+    other errors.
+    """
+    space = method_space(dataset, config, methods_by_type)
+    if len(space) < 2:
+        raise ValueError(f"{dataset.name} does not carry multiple error types")
+    context = EvaluationContext(dataset, config)
+
+    combos = [
+        CompositeCleaning(list(combo))
+        for combo in itertools.product(*space.values())
+    ]
+    pairs_by_single: dict[str, list[MetricPair]] = {t: [] for t in space}
+
+    for split in range(config.n_splits):
+        split_seed = derive_seed(config.seed, dataset.name, "mixed", split)
+        raw_train, raw_test = train_test_split(
+            dataset.dirty, test_ratio=config.test_ratio, seed=split_seed
+        )
+        mixed_best = context.best_cleaned(
+            raw_train, raw_test, combos, split, tag="mixed"
+        )
+        for error_type, methods in space.items():
+            single_best = context.best_cleaned(
+                raw_train, raw_test, methods, split, tag=f"single:{error_type}"
+            )
+            pairs_by_single[error_type].append(
+                MetricPair(
+                    before=single_best.test_metric,
+                    after=mixed_best.test_metric,
+                )
+            )
+
+    tests = [
+        paired_t_test(
+            [pair.before for pair in pairs_by_single[t]],
+            [pair.after for pair in pairs_by_single[t]],
+        )
+        for t in space
+    ]
+    flags = flags_with_fdr(tests, alpha=config.alpha, procedure=config.fdr_procedure)
+    return [
+        MixedComparison(
+            dataset=dataset.name,
+            mixed_types=tuple(space),
+            single_type=error_type,
+            flag=flag,
+            test=test,
+            pairs=tuple(pairs_by_single[error_type]),
+        )
+        for error_type, test, flag in zip(space, tests, flags)
+    ]

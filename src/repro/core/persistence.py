@@ -1,0 +1,125 @@
+"""Persistence for study results.
+
+The paper's full grid is thousands of model trainings; a study you
+cannot checkpoint is a study you will re-run.  Raw experiments (metric
+pairs, pre-statistics) serialize to JSON so that:
+
+* long runs can save incrementally and resume analysis later;
+* the statistics pass (t-tests + FDR) can be replayed under different
+  procedures without re-training anything;
+* results from separate processes (one per error type, say) can be
+  merged into a single database.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .runner import RawExperiment
+from .schema import MetricPair, Scenario
+from .study import CleanMLStudy
+
+FORMAT_VERSION = 1
+
+
+def experiment_to_dict(experiment: RawExperiment) -> dict:
+    """JSON-ready dictionary for one raw experiment."""
+    return {
+        "level": experiment.level,
+        "dataset": experiment.dataset,
+        "error_type": experiment.error_type,
+        "scenario": experiment.scenario.value,
+        "detection": experiment.detection,
+        "repair": experiment.repair,
+        "ml_model": experiment.ml_model,
+        "pairs": [[pair.before, pair.after] for pair in experiment.pairs],
+    }
+
+
+def experiment_from_dict(data: dict) -> RawExperiment:
+    """Inverse of :func:`experiment_to_dict`."""
+    return RawExperiment(
+        level=data["level"],
+        dataset=data["dataset"],
+        error_type=data["error_type"],
+        scenario=Scenario(data["scenario"]),
+        detection=data["detection"],
+        repair=data["repair"],
+        ml_model=data["ml_model"],
+        pairs=tuple(
+            MetricPair(before=float(b), after=float(a))
+            for b, a in data["pairs"]
+        ),
+    )
+
+
+def save_experiments(
+    experiments: list[RawExperiment], path: str | Path
+) -> None:
+    """Write raw experiments to a JSON file (creates parent dirs)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "experiments": [experiment_to_dict(e) for e in experiments],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+
+
+def load_experiments(path: str | Path) -> list[RawExperiment]:
+    """Read raw experiments written by :func:`save_experiments`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [experiment_from_dict(d) for d in payload["experiments"]]
+
+
+def save_study(study: CleanMLStudy, path: str | Path) -> None:
+    """Persist a study's accumulated raw experiments."""
+    save_experiments(study.raw_experiments, path)
+
+
+def load_study(path: str | Path, config=None) -> CleanMLStudy:
+    """Rebuild a study (for the statistics pass) from saved results.
+
+    The returned study has no queued work; call
+    :meth:`~repro.core.study.CleanMLStudy.build_database` on it, with
+    any alpha / FDR procedure.
+    """
+    study = CleanMLStudy(config)
+    study.raw_experiments = load_experiments(path)
+    return study
+
+
+def merge_studies(studies: list[CleanMLStudy], config=None) -> CleanMLStudy:
+    """Combine raw experiments from several studies into one.
+
+    Raises on duplicate experiment keys — merging the same block twice
+    is almost certainly a mistake, and the relational insert would fail
+    later anyway with a less helpful message.
+    """
+    merged = CleanMLStudy(config)
+    seen: set[tuple] = set()
+    for study in studies:
+        for experiment in study.raw_experiments:
+            key = (
+                experiment.level,
+                experiment.dataset,
+                experiment.error_type,
+                experiment.scenario.value,
+                experiment.detection,
+                experiment.repair,
+                experiment.ml_model,
+            )
+            if key in seen:
+                raise ValueError(f"duplicate experiment in merge: {key}")
+            seen.add(key)
+            merged.raw_experiments.append(experiment)
+    return merged

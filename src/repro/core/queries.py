@@ -1,0 +1,105 @@
+"""The paper's SQL query templates Q1-Q5 (§V-A).
+
+Every query fixes an error type, groups rows of a relation by the flag
+attribute — and, beyond Q1, by one extra attribute:
+
+* **Q1** — overall flag distribution;
+* **Q2** — grouped by scenario;
+* **Q3** — grouped by ML model (R1 only — R2/R3 drop the attribute);
+* **Q4.1 / Q4.2** — grouped by detection / repair method;
+* **Q5** — grouped by dataset.
+
+Results come back as ``{group: {"P": count, "S": count, "N": count}}``
+ordered dictionaries, plus helpers to render them the way the paper's
+tables do (percentage with absolute count in parentheses).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .relations import Relation
+
+
+def q1(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Overall flag distribution for one error type."""
+    return relation.distribution(error_type=error_type)
+
+
+def q2(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Flag distribution per scenario (BD vs CD)."""
+    return relation.distribution(group_by="scenario", error_type=error_type)
+
+
+def q3(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Flag distribution per ML model (meaningful on R1 only)."""
+    if relation.name != "R1":
+        raise ValueError("Q3 requires R1 — other relations drop the model")
+    return relation.distribution(group_by="ml_model", error_type=error_type)
+
+
+def q4_detection(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Flag distribution per detection method (Q4.1)."""
+    if relation.name == "R3":
+        raise ValueError("Q4 requires R1 or R2 — R3 drops the cleaning method")
+    return relation.distribution(group_by="detection", error_type=error_type)
+
+
+def q4_repair(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Flag distribution per repair method (Q4.2)."""
+    if relation.name == "R3":
+        raise ValueError("Q4 requires R1 or R2 — R3 drops the cleaning method")
+    return relation.distribution(group_by="repair", error_type=error_type)
+
+
+def q5(relation: Relation, error_type: str) -> dict[str, dict[str, int]]:
+    """Flag distribution per dataset."""
+    return relation.distribution(group_by="dataset", error_type=error_type)
+
+
+def format_distribution(counts: dict[str, int]) -> str:
+    """One row in the paper's style: ``49% (143)  27% (80)  24% (71)``."""
+    total = sum(counts.values())
+    if total == 0:
+        return "-"
+    cells = []
+    for flag in ("P", "S", "N"):
+        count = counts.get(flag, 0)
+        cells.append(f"{round(100 * count / total)}% ({count})")
+    return "  ".join(cells)
+
+
+def render_query(
+    result: dict[str, dict[str, int]], title: str, group_header: str = ""
+) -> str:
+    """Render a Q1-Q5 result as a fixed-width text table."""
+    lines = [title]
+    width = max([len(str(group)) for group in result] + [len(group_header), 4])
+    header = f"{group_header:<{width}}  {'P':>12} {'S':>12} {'N':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for group, counts in result.items():
+        total = sum(counts.values())
+        cells = []
+        for flag in ("P", "S", "N"):
+            count = counts.get(flag, 0)
+            share = round(100 * count / total) if total else 0
+            cells.append(f"{share:>3}% ({count:>4})")
+        lines.append(f"{group:<{width}}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def all_queries(
+    relation: Relation, error_type: str
+) -> "OrderedDict[str, dict[str, dict[str, int]]]":
+    """Every applicable query template for one relation and error type."""
+    out: OrderedDict[str, dict] = OrderedDict()
+    out["Q1"] = q1(relation, error_type)
+    out["Q2"] = q2(relation, error_type)
+    if relation.name == "R1":
+        out["Q3"] = q3(relation, error_type)
+    if relation.name in ("R1", "R2"):
+        out["Q4.1"] = q4_detection(relation, error_type)
+        out["Q4.2"] = q4_repair(relation, error_type)
+    out["Q5"] = q5(relation, error_type)
+    return out

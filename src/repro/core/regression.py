@@ -1,0 +1,159 @@
+"""Regression-task study — the paper's §VIII "other ML tasks" extension.
+
+A compact BD-style protocol for numeric targets: over the usual random
+splits, compare a regressor trained on the dirty training set against
+one trained on the cleaned training set, both evaluated (R², higher is
+better) on the cleaned test set, and decide a P/S/N flag with the same
+three paired t-tests + FDR machinery the classification study uses.
+
+Missing-value semantics follow the paper's Table 5: the dirty baseline
+is row deletion, cleaning is imputation.  Mislabels do not apply (the
+target is continuous); the cleaning methods for feature errors are the
+same registry objects the classification study uses — they never touch
+the label column's values except for relabel-type methods, which this
+study rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cleaning.base import MISLABELS, CleaningMethod
+from ..cleaning.registry import dirty_baseline, methods_for
+from ..datasets.base import Dataset
+from ..ml.regression import KNNRegressor, RidgeRegression, r2_score
+from ..stats.flags import Flag, flags_with_fdr
+from ..stats.ttest import PairedTTestResult, paired_t_test
+from ..table import FeatureEncoder, Table, train_test_split
+from .runner import StudyConfig, derive_seed
+from .schema import MetricPair
+
+REGRESSORS = {
+    "ridge": lambda: RidgeRegression(alpha=1.0),
+    "knn": lambda: KNNRegressor(n_neighbors=5),
+}
+
+
+@dataclass(frozen=True)
+class RegressionResult:
+    """One (method, regressor) row of the regression study."""
+
+    dataset: str
+    error_type: str
+    method: str
+    regressor: str
+    flag: Flag
+    test: PairedTTestResult
+    mean_dirty_r2: float
+    mean_clean_r2: float
+
+
+def _fit_score(train: Table, test: Table, regressor_name: str) -> float:
+    """R² of a regressor trained on ``train``, evaluated on ``test``."""
+    encoder = FeatureEncoder().fit(train.features_table())
+    x_train = encoder.transform(train.features_table())
+    y_train = np.asarray(train.labels, dtype=np.float64)
+    model = REGRESSORS[regressor_name]()
+    model.fit(x_train, y_train)
+    x_test = encoder.transform(test.features_table())
+    y_test = np.asarray(test.labels, dtype=np.float64)
+    return r2_score(y_test, model.predict(x_test))
+
+
+def run_regression_study(
+    dataset: Dataset,
+    error_type: str,
+    config: StudyConfig,
+    methods: list[CleaningMethod] | None = None,
+    regressors: tuple[str, ...] = ("ridge", "knn"),
+) -> list[RegressionResult]:
+    """BD-scenario cleaning study on a regression dataset.
+
+    Flag **P** means cleaning raised test R² significantly, **N** that it
+    lowered it; flags are BY-corrected across all (method, regressor)
+    rows of the call.
+    """
+    if error_type == MISLABELS:
+        raise ValueError("mislabels do not apply to continuous targets")
+    if not dataset.has(error_type):
+        raise ValueError(f"{dataset.name} does not carry {error_type!r}")
+    for name in regressors:
+        if name not in REGRESSORS:
+            raise ValueError(
+                f"unknown regressor {name!r}; choose from {tuple(REGRESSORS)}"
+            )
+    if methods is None:
+        methods = methods_for(
+            error_type,
+            include_advanced=config.include_advanced_cleaning,
+            random_state=config.seed,
+        )
+
+    pairs: dict[tuple[str, str], list[MetricPair]] = {
+        (method.name, regressor): []
+        for method in methods
+        for regressor in regressors
+    }
+    for split in range(config.n_splits):
+        seed = derive_seed(config.seed, dataset.name, "regression", split)
+        raw_train, raw_test = train_test_split(
+            dataset.dirty, test_ratio=config.test_ratio, seed=seed
+        )
+        baseline = dirty_baseline(error_type).fit(raw_train)
+        dirty_train = baseline.transform(raw_train)
+        for method in methods:
+            method.fit(raw_train)
+            clean_train = method.transform(raw_train)
+            clean_test = method.transform(raw_test)
+            for regressor in regressors:
+                pairs[(method.name, regressor)].append(
+                    MetricPair(
+                        before=_fit_score(dirty_train, clean_test, regressor),
+                        after=_fit_score(clean_train, clean_test, regressor),
+                    )
+                )
+
+    keys = list(pairs)
+    tests = [
+        paired_t_test(
+            [pair.before for pair in pairs[key]],
+            [pair.after for pair in pairs[key]],
+        )
+        for key in keys
+    ]
+    flags = flags_with_fdr(tests, alpha=config.alpha, procedure=config.fdr_procedure)
+    return [
+        RegressionResult(
+            dataset=dataset.name,
+            error_type=error_type,
+            method=key[0],
+            regressor=key[1],
+            flag=flag,
+            test=test,
+            mean_dirty_r2=float(np.mean([p.before for p in pairs[key]])),
+            mean_clean_r2=float(np.mean([p.after for p in pairs[key]])),
+        )
+        for key, test, flag in zip(keys, tests, flags)
+    ]
+
+
+def render_regression_results(
+    results: list[RegressionResult], title: str
+) -> str:
+    """Fixed-width table of the regression study's rows."""
+    lines = [title]
+    header = (
+        f"{'method':<24} {'regressor':<10} {'dirty R2':>9} "
+        f"{'clean R2':>9}  flag"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in results:
+        lines.append(
+            f"{row.method:<24} {row.regressor:<10} "
+            f"{row.mean_dirty_r2:>9.3f} {row.mean_clean_r2:>9.3f}  "
+            f"{row.flag.value}"
+        )
+    return "\n".join(lines)

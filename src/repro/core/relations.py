@@ -1,0 +1,127 @@
+"""In-memory relational store for experiment results.
+
+The paper organizes all results in a relational database and analyzes it
+with SQL.  :class:`Relation` is the table: insert rows, enforce key
+uniqueness, filter, and aggregate flag distributions grouped by any
+attribute — which is all the paper's Q1-Q5 templates need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..stats.flags import Flag
+from .schema import RELATION_KEYS, ExperimentRow
+
+
+class Relation:
+    """One of {R1, R2, R3}: rows keyed by the paper's primary key."""
+
+    def __init__(self, name: str) -> None:
+        if name not in RELATION_KEYS:
+            raise ValueError(f"unknown relation {name!r}")
+        self.name = name
+        self.key_attributes = RELATION_KEYS[name]
+        self._rows: dict[tuple, ExperimentRow] = {}
+
+    def _key(self, row: ExperimentRow) -> tuple:
+        return tuple(
+            str(getattr(row, attribute)) for attribute in self.key_attributes
+        )
+
+    # -- modification --------------------------------------------------------
+
+    def insert(self, row: ExperimentRow) -> None:
+        """Insert a row; duplicate primary keys are an error."""
+        key = self._key(row)
+        if key in self._rows:
+            raise ValueError(f"duplicate key in {self.name}: {key}")
+        self._rows[key] = row
+
+    def replace_flags(self, flags: list[Flag]) -> None:
+        """Overwrite every row's flag, in insertion order (FDR pass)."""
+        if len(flags) != len(self._rows):
+            raise ValueError("flag count must match row count")
+        for key, flag in zip(list(self._rows), flags):
+            self._rows[key] = self._rows[key].with_flag(flag)
+
+    # -- access -------------------------------------------------------------
+
+    def rows(self) -> list[ExperimentRow]:
+        """All rows in insertion order."""
+        return list(self._rows.values())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows.values())
+
+    def filter(self, **conditions) -> list[ExperimentRow]:
+        """Rows matching every attribute=value condition.
+
+        Enum-valued attributes match against their ``.value`` too, so
+        ``scenario="BD"`` works as naturally as ``scenario=Scenario.BD``.
+        """
+        out = []
+        for row in self._rows.values():
+            if all(
+                _matches(getattr(row, attribute), wanted)
+                for attribute, wanted in conditions.items()
+            ):
+                out.append(row)
+        return out
+
+    def distribution(
+        self, group_by: str | None = None, **conditions
+    ) -> "OrderedDict[str, dict[str, int]]":
+        """Flag counts, optionally grouped by one attribute.
+
+        Returns ``{group value: {"P": n, "S": n, "N": n}}``; without
+        ``group_by`` the single group is keyed ``"all"``.
+        """
+        rows = self.filter(**conditions)
+        groups: OrderedDict[str, list[ExperimentRow]] = OrderedDict()
+        for row in rows:
+            key = "all" if group_by is None else _text(getattr(row, group_by))
+            groups.setdefault(key, []).append(row)
+        return OrderedDict(
+            (key, _flag_counts(members)) for key, members in groups.items()
+        )
+
+
+class CleanMLDatabase:
+    """The three relations R1, R2, R3 (paper Table 1)."""
+
+    def __init__(self) -> None:
+        self.relations = {name: Relation(name) for name in RELATION_KEYS}
+
+    def relation(self, name: str) -> Relation:
+        """The named relation; raises on unknown names."""
+        if name not in self.relations:
+            raise ValueError(f"unknown relation {name!r}")
+        return self.relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+
+def _flag_counts(rows: list[ExperimentRow]) -> dict[str, int]:
+    counts = {"P": 0, "S": 0, "N": 0}
+    for row in rows:
+        counts[row.flag.value] += 1
+    return counts
+
+
+def _matches(actual, wanted) -> bool:
+    if actual == wanted:
+        return True
+    return _text(actual) == _text(wanted)
+
+
+def _text(value) -> str:
+    if isinstance(value, Flag):
+        return value.value
+    if hasattr(value, "value") and not isinstance(value, str):
+        return str(value.value)
+    return str(value)

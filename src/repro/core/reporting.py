@@ -1,0 +1,97 @@
+"""Paper-style rendering of study results.
+
+Turns relations and §VII comparison lists into the fixed-width text
+tables the benchmarks print, including the Table-16 style summary of
+overall findings per error type.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..cleaning.base import ERROR_TYPES
+from .queries import render_query
+from .relations import CleanMLDatabase, Relation
+
+
+def render_error_type_report(
+    database: CleanMLDatabase, error_type: str
+) -> str:
+    """All applicable Q1-Q5 tables for one error type, across relations."""
+    from .queries import all_queries
+
+    sections = []
+    for name in ("R1", "R2", "R3"):
+        relation = database[name]
+        if not relation.filter(error_type=error_type):
+            continue
+        for query, result in all_queries(relation, error_type).items():
+            sections.append(
+                render_query(
+                    result,
+                    title=f"{query} on {name} (E = {error_type})",
+                    group_header="group",
+                )
+            )
+    return "\n\n".join(sections)
+
+
+def dominant_pattern(counts: dict[str, int]) -> str:
+    """Paper-Table-16 style "Mostly X & Y" description of a distribution."""
+    total = sum(counts.values())
+    if total == 0:
+        return "no data"
+    shares = {flag: counts.get(flag, 0) / total for flag in ("P", "S", "N")}
+    ranked = sorted(shares.items(), key=lambda kv: -kv[1])
+    top_flag, top_share = ranked[0]
+    second_flag, second_share = ranked[1]
+    if second_share >= 0.25:
+        return f"Mostly {top_flag} & {second_flag}"
+    return f"Mostly {top_flag}"
+
+
+def render_summary_table(database: CleanMLDatabase) -> str:
+    """Table 16: overall impact per error type, from R1's distributions."""
+    relation = database["R1"]
+    lines = ["Summary of findings per error type (paper Table 16)"]
+    header = f"{'error type':<18} {'impact on ML':<20} {'P':>6} {'S':>6} {'N':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for error_type in ERROR_TYPES:
+        counts = relation.distribution(error_type=error_type).get("all")
+        if counts is None:
+            continue
+        pattern = dominant_pattern(counts)
+        lines.append(
+            f"{error_type:<18} {pattern:<20} "
+            f"{counts['P']:>6} {counts['S']:>6} {counts['N']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison_table(rows: list, title: str, columns: list[str]) -> str:
+    """Fixed-width rendering for the §VII comparison dataclasses.
+
+    ``columns`` names dataclass attributes; the flag and the P/S/N share
+    derived from the t-test join automatically.
+    """
+    lines = [title]
+    header = "  ".join(f"{column:<22}" for column in columns) + "  flag"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = getattr(row, column)
+            if isinstance(value, tuple):
+                value = "+".join(str(v) for v in value)
+            cells.append(f"{str(value):<22}")
+        lines.append("  ".join(cells) + f"  {row.flag.value}")
+    return "\n".join(lines)
+
+
+def relation_sizes(database: CleanMLDatabase) -> "OrderedDict[str, int]":
+    """Row counts per relation (the paper quotes 1204/172/56 settings)."""
+    return OrderedDict(
+        (name, len(database[name])) for name in ("R1", "R2", "R3")
+    )

@@ -1,0 +1,194 @@
+"""Robust-ML vs data-cleaning study (paper §VII-B, Table 18).
+
+Two comparisons:
+
+* **missing values vs NaCL** — a logistic regression robust to missing
+  features (expected predictions, no cleaning) against (a) plain LR plus
+  the best cleaning algorithm and (b) the best model plus the best
+  cleaning algorithm;
+* **other error types vs MLP** — an optuna-style-tuned multi-layer
+  perceptron trained on the dirty data against the best model plus the
+  best cleaning algorithm.
+
+Flag **P** means data cleaning beat the robust-ML approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cleaning.base import MISSING_VALUES, CleaningMethod
+from ..cleaning.registry import methods_for
+from ..datasets.base import Dataset
+from ..ml.mlp import MLPClassifier
+from ..ml.model_selection import sample_params, score_predictions
+from ..ml.nacl import NaCLClassifier
+from ..stats.flags import Flag, flags_with_fdr
+from ..stats.ttest import PairedTTestResult, paired_t_test
+from ..table import FeatureEncoder, Table, train_test_split
+from .runner import StudyConfig, derive_seed
+from .schema import MetricPair
+from .selection import EvaluationContext
+
+#: the MLP dimensions the paper tunes with optuna (footnote 4)
+MLP_SEARCH_SPACE = {
+    "hidden_size": [16, 32, 64],
+    "learning_rate": ("loguniform", 1e-3, 0.05),
+    "momentum": ("uniform", 0.5, 0.95),
+    "optimizer": ["sgd", "adam"],
+}
+
+
+@dataclass(frozen=True)
+class RobustMLComparison:
+    """One Table-18 row."""
+
+    dataset: str
+    error_type: str
+    cleaning_arm: str  # e.g. "LR + best cleaning" / "best model + best cleaning"
+    robust_arm: str  # "NaCL" / "MLP"
+    flag: Flag
+    test: PairedTTestResult
+    pairs: tuple[MetricPair, ...]
+
+
+def _robust_missing_score(
+    context: EvaluationContext,
+    raw_train: Table,
+    raw_test: Table,
+    split: int,
+) -> float:
+    """NaCL trained on the NaN-bearing data, evaluated on the dirty test."""
+    encoder = FeatureEncoder(numeric_missing="nan").fit(raw_train.features_table())
+    x_train = encoder.transform(raw_train.features_table())
+    y_train = context.labeler.transform(raw_train.labels)
+    model = NaCLClassifier().fit(x_train, y_train)
+    x_test = encoder.transform(raw_test.features_table())
+    y_test = context.labeler.transform(raw_test.labels)
+    return score_predictions(
+        y_test, model.predict(x_test), context.metric, context.positive
+    )
+
+
+def _robust_mlp_score(
+    context: EvaluationContext,
+    raw_train: Table,
+    clean_test: Table,
+    split: int,
+    n_trials: int,
+) -> float:
+    """Tuned MLP trained on dirty data, evaluated on the cleaned test."""
+    encoder = FeatureEncoder().fit(raw_train.features_table())
+    x_train = encoder.transform(raw_train.features_table())
+    y_train = context.labeler.transform(raw_train.labels)
+    rng = np.random.default_rng(
+        derive_seed(context.config.seed, context.dataset.name, "mlp", split)
+    )
+    # optuna-style tuning: random configurations scored on a holdout
+    n = len(y_train)
+    holdout = rng.permutation(n)
+    cut = max(1, int(0.75 * n))
+    fit_rows, val_rows = holdout[:cut], holdout[cut:]
+    best_model, best_val = None, -np.inf
+    for trial in range(max(1, n_trials)):
+        params = sample_params(MLP_SEARCH_SPACE, rng)
+        candidate = MLPClassifier(
+            epochs=100, random_state=int(rng.integers(0, 2**31 - 1)), **params
+        )
+        candidate.fit(x_train[fit_rows], y_train[fit_rows])
+        if len(val_rows) > 0:
+            val = score_predictions(
+                y_train[val_rows],
+                candidate.predict(x_train[val_rows]),
+                context.metric,
+                context.positive,
+            )
+        else:
+            val = 0.0
+        if val > best_val:
+            best_val, best_model = val, candidate
+
+    x_test = encoder.transform(clean_test.features_table())
+    y_test = context.labeler.transform(clean_test.labels)
+    return score_predictions(
+        y_test, best_model.predict(x_test), context.metric, context.positive
+    )
+
+
+def run_robustml_study(
+    dataset: Dataset,
+    error_type: str,
+    config: StudyConfig,
+    methods: list[CleaningMethod] | None = None,
+    mlp_trials: int = 3,
+) -> list[RobustMLComparison]:
+    """Table 18 rows for one dataset and error type.
+
+    Missing values yield two rows (LR-only and best-model cleaning arms
+    vs NaCL); other error types yield one row (best model + cleaning vs
+    MLP).
+    """
+    context = EvaluationContext(dataset, config)
+    if methods is None:
+        methods = methods_for(
+            error_type,
+            include_advanced=config.include_advanced_cleaning,
+            random_state=config.seed,
+        )
+
+    arms: list[tuple[str, str, tuple[str, ...] | None]] = []
+    if error_type == MISSING_VALUES:
+        arms.append(("LR + best cleaning", "NaCL", ("logistic_regression",)))
+        arms.append(("best model + best cleaning", "NaCL", None))
+    else:
+        arms.append(("best model + best cleaning", "MLP", None))
+
+    pairs_by_arm: dict[str, list[MetricPair]] = {arm: [] for arm, _, _ in arms}
+    for split in range(config.n_splits):
+        split_seed = derive_seed(config.seed, dataset.name, "robust", split)
+        raw_train, raw_test = train_test_split(
+            dataset.dirty, test_ratio=config.test_ratio, seed=split_seed
+        )
+        for arm, robust, model_pool in arms:
+            cleaned = context.best_cleaned(
+                raw_train,
+                raw_test,
+                methods,
+                split,
+                models=model_pool,
+                tag=f"robust:{arm}",
+            )
+            if robust == "NaCL":
+                robust_score = _robust_missing_score(
+                    context, raw_train, raw_test, split
+                )
+            else:
+                robust_score = _robust_mlp_score(
+                    context, raw_train, cleaned.clean_test, split, mlp_trials
+                )
+            pairs_by_arm[arm].append(
+                MetricPair(before=robust_score, after=cleaned.test_metric)
+            )
+
+    tests = [
+        paired_t_test(
+            [pair.before for pair in pairs_by_arm[arm]],
+            [pair.after for pair in pairs_by_arm[arm]],
+        )
+        for arm, _, _ in arms
+    ]
+    flags = flags_with_fdr(tests, alpha=config.alpha, procedure=config.fdr_procedure)
+    return [
+        RobustMLComparison(
+            dataset=dataset.name,
+            error_type=error_type,
+            cleaning_arm=arm,
+            robust_arm=robust,
+            flag=flag,
+            test=test,
+            pairs=tuple(pairs_by_arm[arm]),
+        )
+        for (arm, robust, _), test, flag in zip(arms, tests, flags)
+    ]

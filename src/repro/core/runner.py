@@ -1,0 +1,359 @@
+"""Experiment runner — the paper's §IV-A procedure.
+
+For one dataset and error type, a single pass over ``n_splits`` random
+70/30 train/test splits produces the metric pairs of **all three
+relations** at once:
+
+1. split the dirty dataset;
+2. fit every cleaning method on the training split only and clean both
+   splits (no leakage);
+3. train models — on the dirty training set and on every cleaned
+   training set — with validation scores from k-fold cross validation
+   (plus optional random hyper-parameter search);
+4. evaluate to form metric pairs: case B vs D for the model-development
+   scenario (BD), case C vs D for model deployment (CD).
+
+R2 adds per-split model selection by validation score; R3 additionally
+selects the cleaning method by the best validated model it admits.  The
+runner shares work aggressively: dirty-side models are trained once per
+split and reused across every cleaning method, exactly as the semantics
+allow.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cleaning.base import MISSING_VALUES, CleaningMethod
+from ..cleaning.registry import dirty_baseline, methods_for
+from ..datasets.base import Dataset
+from ..ml.model_selection import RandomSearch, cross_val_score, score_predictions
+from ..ml.registry import MODEL_NAMES, make_model, search_space
+from ..table import FeatureEncoder, LabelEncoder, Table, train_test_split
+from ..table.ops import minority_class
+from .schema import MetricPair, Scenario
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of the study protocol.
+
+    Defaults follow the paper (20 splits, 70/30, alpha 0.05, BY, 5-fold
+    CV); benchmarks shrink ``n_splits`` / ``cv_folds`` / the model pool
+    to stay laptop-scale, which EXPERIMENTS.md documents.
+    """
+
+    n_splits: int = 20
+    test_ratio: float = 0.3
+    alpha: float = 0.05
+    fdr_procedure: str = "by"
+    cv_folds: int = 5
+    search_iters: int = 0
+    models: tuple[str, ...] = MODEL_NAMES
+    include_advanced_cleaning: bool = True
+    seed: int = 0
+    #: per-model constructor overrides, e.g. {"random_forest":
+    #: {"n_estimators": 10}} — the lever benchmarks use to stay fast
+    model_overrides: dict = field(default_factory=dict, hash=False, compare=False)
+
+    def make_model(self, name: str, seed: int):
+        """Registry model with this config's per-model overrides applied."""
+        model = make_model(name, seed=seed)
+        overrides = self.model_overrides.get(name)
+        if overrides:
+            model.set_params(**overrides)
+        return model
+
+
+@dataclass(frozen=True)
+class RawExperiment:
+    """Metric pairs for one experiment specification, pre-statistics."""
+
+    level: str  # "R1" | "R2" | "R3"
+    dataset: str
+    error_type: str
+    scenario: Scenario
+    detection: str | None
+    repair: str | None
+    ml_model: str | None
+    pairs: tuple[MetricPair, ...]
+
+
+class TrainedModel:
+    """A model fitted on one training table, with its validation score.
+
+    Encoding is leakage-free by construction: the feature encoder is
+    fitted on the training table and reused for every evaluation table.
+    """
+
+    def __init__(
+        self,
+        train: Table,
+        model_name: str,
+        config: StudyConfig,
+        labeler: LabelEncoder,
+        metric: str,
+        positive: int | None,
+        seed: int,
+    ) -> None:
+        self.model_name = model_name
+        self.metric = metric
+        self.positive = positive
+        self._labeler = labeler
+        self._encoder = FeatureEncoder().fit(train.features_table())
+        X = self._encoder.transform(train.features_table())
+        y = labeler.transform(train.labels)
+
+        if config.search_iters > 0:
+            search = RandomSearch(
+                config.make_model(model_name, seed),
+                search_space(model_name),
+                n_iter=config.search_iters,
+                n_folds=config.cv_folds,
+                metric=metric,
+                positive=positive,
+                seed=seed,
+            ).fit(X, y)
+            self.model = search.best_model_
+            self.val_score = float(search.best_score_)
+        else:
+            self.model = config.make_model(model_name, seed)
+            self.val_score = float(
+                cross_val_score(
+                    self.model,
+                    X,
+                    y,
+                    n_folds=config.cv_folds,
+                    metric=metric,
+                    positive=positive,
+                    seed=seed,
+                )
+            )
+            self.model.fit(X, y)
+
+    @property
+    def encoder(self) -> FeatureEncoder:
+        """The feature encoder fitted on this model's training table."""
+        return self._encoder
+
+    def evaluate(self, test: Table) -> float:
+        """Metric of the model on ``test`` (encoded with train statistics)."""
+        X = self._encoder.transform(test.features_table())
+        y = self._labeler.transform(test.labels)
+        predictions = self.model.predict(X)
+        return score_predictions(y, predictions, self.metric, self.positive)
+
+
+def derive_seed(*parts) -> int:
+    """Deterministic 31-bit seed from arbitrary string-able parts."""
+    text = "|".join(str(part) for part in parts)
+    return zlib.crc32(text.encode()) & 0x7FFFFFFF
+
+
+def scenarios_for(error_type: str) -> tuple[Scenario, ...]:
+    """BD only for missing values (paper §III-E), BD + CD otherwise."""
+    if error_type == MISSING_VALUES:
+        return (Scenario.BD,)
+    return (Scenario.BD, Scenario.CD)
+
+
+class ErrorTypeRun:
+    """One dataset x one error type: fills R1/R2/R3 accumulators."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        error_type: str,
+        config: StudyConfig,
+        methods: list[CleaningMethod] | None = None,
+    ) -> None:
+        if not dataset.has(error_type):
+            raise ValueError(
+                f"{dataset.name} does not carry error type {error_type!r}"
+            )
+        self.dataset = dataset
+        self.error_type = error_type
+        self.config = config
+        self._methods = methods
+        self.metric = dataset.metric
+        label_column = dataset.dirty.column(dataset.dirty.schema.label)
+        self.labeler = LabelEncoder().fit(
+            label_column.unique()
+            + dataset.clean.column(dataset.clean.schema.label).unique()
+        )
+        if self.metric == "f1":
+            self.positive = int(
+                self.labeler.transform([minority_class(dataset.dirty)])[0]
+            )
+        else:
+            self.positive = None
+        # accumulators: spec key -> list of MetricPair
+        self._r1: dict[tuple, list[MetricPair]] = {}
+        self._r2: dict[tuple, list[MetricPair]] = {}
+        self._r3: dict[tuple, list[MetricPair]] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> list[RawExperiment]:
+        """Execute all splits and return the raw experiments."""
+        for split in range(self.config.n_splits):
+            self._run_split(split)
+        return self._collect()
+
+    # -- internals ------------------------------------------------------------
+
+    def _fresh_methods(self) -> list[CleaningMethod]:
+        if self._methods is not None:
+            return self._methods
+        return methods_for(
+            self.error_type,
+            include_advanced=self.config.include_advanced_cleaning,
+            random_state=self.config.seed,
+        )
+
+    def _train(self, table: Table, model_name: str, role: str, split: int) -> TrainedModel:
+        seed = derive_seed(self.config.seed, self.dataset.name, role, model_name, split)
+        return TrainedModel(
+            table,
+            model_name,
+            self.config,
+            self.labeler,
+            self.metric,
+            self.positive,
+            seed,
+        )
+
+    def _run_split(self, split: int) -> None:
+        config = self.config
+        split_seed = derive_seed(config.seed, self.dataset.name, self.error_type, split)
+        raw_train, raw_test = train_test_split(
+            self.dataset.dirty, test_ratio=config.test_ratio, seed=split_seed
+        )
+
+        baseline = dirty_baseline(self.error_type).fit(raw_train)
+        dirty_train = baseline.transform(raw_train)
+
+        dirty_models = {
+            name: self._train(dirty_train, name, "dirty", split)
+            for name in config.models
+        }
+        best_dirty = max(dirty_models.values(), key=lambda m: m.val_score)
+
+        best_method_score: dict[Scenario, float] = {}
+        best_method_pair: dict[Scenario, MetricPair] = {}
+        best_method_name: dict[Scenario, str] = {}
+
+        for method in self._fresh_methods():
+            method.fit(raw_train)
+            clean_train = method.transform(raw_train)
+            clean_test = method.transform(raw_test)
+
+            clean_models = {
+                name: self._train(
+                    clean_train, name, f"clean:{method.name}", split
+                )
+                for name in config.models
+            }
+            best_clean = max(clean_models.values(), key=lambda m: m.val_score)
+
+            for scenario in scenarios_for(self.error_type):
+                # R1: one row per model
+                for name in config.models:
+                    pair = self._metric_pair(
+                        scenario,
+                        dirty_model=dirty_models[name],
+                        clean_model=clean_models[name],
+                        raw_test=raw_test,
+                        clean_test=clean_test,
+                    )
+                    key = (method.detection, method.repair, name, scenario)
+                    self._r1.setdefault(key, []).append(pair)
+
+                # R2: best models on each side
+                pair = self._metric_pair(
+                    scenario,
+                    dirty_model=best_dirty,
+                    clean_model=best_clean,
+                    raw_test=raw_test,
+                    clean_test=clean_test,
+                )
+                key2 = (method.detection, method.repair, scenario)
+                self._r2.setdefault(key2, []).append(pair)
+
+                # R3 candidate: this method's best validated model
+                if (
+                    scenario not in best_method_score
+                    or best_clean.val_score > best_method_score[scenario]
+                ):
+                    best_method_score[scenario] = best_clean.val_score
+                    best_method_pair[scenario] = pair
+                    best_method_name[scenario] = method.name
+
+        for scenario, pair in best_method_pair.items():
+            self._r3.setdefault((scenario,), []).append(pair)
+
+    def _metric_pair(
+        self,
+        scenario: Scenario,
+        dirty_model: TrainedModel,
+        clean_model: TrainedModel,
+        raw_test: Table,
+        clean_test: Table,
+    ) -> MetricPair:
+        if scenario is Scenario.BD:
+            # case B vs case D: both models on the cleaned test set
+            return MetricPair(
+                before=dirty_model.evaluate(clean_test),
+                after=clean_model.evaluate(clean_test),
+            )
+        # CD: the cleaned-train model on dirty vs cleaned test (C vs D)
+        return MetricPair(
+            before=clean_model.evaluate(raw_test),
+            after=clean_model.evaluate(clean_test),
+        )
+
+    def _collect(self) -> list[RawExperiment]:
+        out: list[RawExperiment] = []
+        for (detection, repair, model, scenario), pairs in self._r1.items():
+            out.append(
+                RawExperiment(
+                    level="R1",
+                    dataset=self.dataset.name,
+                    error_type=self.error_type,
+                    scenario=scenario,
+                    detection=detection,
+                    repair=repair,
+                    ml_model=model,
+                    pairs=tuple(pairs),
+                )
+            )
+        for (detection, repair, scenario), pairs in self._r2.items():
+            out.append(
+                RawExperiment(
+                    level="R2",
+                    dataset=self.dataset.name,
+                    error_type=self.error_type,
+                    scenario=scenario,
+                    detection=detection,
+                    repair=repair,
+                    ml_model=None,
+                    pairs=tuple(pairs),
+                )
+            )
+        for (scenario,), pairs in self._r3.items():
+            out.append(
+                RawExperiment(
+                    level="R3",
+                    dataset=self.dataset.name,
+                    error_type=self.error_type,
+                    scenario=scenario,
+                    detection=None,
+                    repair=None,
+                    ml_model=None,
+                    pairs=tuple(pairs),
+                )
+            )
+        return out

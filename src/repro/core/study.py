@@ -1,0 +1,119 @@
+"""Study orchestration: run experiments, build the CleanML database.
+
+The :class:`CleanMLStudy` is the top-level entry point a user of this
+library touches: register datasets (or whole error-type populations),
+``run()``, and query the resulting :class:`~repro.core.relations
+.CleanMLDatabase`.  Flags are decided by the paper's three paired
+t-tests with a per-relation Benjamini-Yekutieli pass (§IV-B/C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import ERROR_TYPES, CleaningMethod
+from ..datasets.base import Dataset
+from ..stats.flags import flags_with_fdr
+from ..stats.ttest import paired_t_test
+from .relations import CleanMLDatabase
+from .runner import ErrorTypeRun, RawExperiment, StudyConfig
+from .schema import ExperimentRow
+
+
+class CleanMLStudy:
+    """Run the CleanML protocol over a set of (dataset, error type) pairs.
+
+    Example
+    -------
+    >>> study = CleanMLStudy(StudyConfig(n_splits=5))
+    >>> study.add(load_dataset("EEG"), "outliers")   # doctest: +SKIP
+    >>> database = study.run()                        # doctest: +SKIP
+    >>> database["R1"].distribution()                 # doctest: +SKIP
+    """
+
+    def __init__(self, config: StudyConfig | None = None) -> None:
+        self.config = config or StudyConfig()
+        self._queue: list[tuple[Dataset, str, list[CleaningMethod] | None]] = []
+        self.raw_experiments: list[RawExperiment] = []
+
+    # -- registration ---------------------------------------------------------
+
+    def add(
+        self,
+        dataset: Dataset,
+        error_type: str,
+        methods: list[CleaningMethod] | None = None,
+    ) -> "CleanMLStudy":
+        """Queue one dataset x error-type experiment block."""
+        if error_type not in ERROR_TYPES:
+            raise ValueError(f"unknown error type {error_type!r}")
+        self._queue.append((dataset, error_type, methods))
+        return self
+
+    def add_population(
+        self, datasets: list[Dataset], error_type: str
+    ) -> "CleanMLStudy":
+        """Queue every dataset of an error-type population."""
+        for dataset in datasets:
+            self.add(dataset, error_type)
+        return self
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, progress=None) -> CleanMLDatabase:
+        """Execute all queued blocks and return the populated database.
+
+        ``progress`` is an optional callback ``(dataset_name, error_type)``
+        invoked before each block — benchmarks use it for logging.
+        """
+        for dataset, error_type, methods in self._queue:
+            if progress is not None:
+                progress(dataset.name, error_type)
+            run = ErrorTypeRun(dataset, error_type, self.config, methods=methods)
+            self.raw_experiments.extend(run.run())
+        self._queue.clear()
+        return self.build_database()
+
+    def build_database(
+        self, alpha: float | None = None, procedure: str | None = None
+    ) -> CleanMLDatabase:
+        """Statistics pass: t-tests per experiment, FDR per relation.
+
+        Exposed separately from :meth:`run` so the FDR ablation can
+        rebuild the database under different procedures without
+        re-running any ML.
+        """
+        alpha = self.config.alpha if alpha is None else alpha
+        procedure = self.config.fdr_procedure if procedure is None else procedure
+        database = CleanMLDatabase()
+        for level in ("R1", "R2", "R3"):
+            block = [e for e in self.raw_experiments if e.level == level]
+            tests = [
+                paired_t_test(
+                    [pair.before for pair in experiment.pairs],
+                    [pair.after for pair in experiment.pairs],
+                )
+                for experiment in block
+            ]
+            flags = flags_with_fdr(tests, alpha=alpha, procedure=procedure)
+            relation = database[level]
+            for experiment, test, flag in zip(block, tests, flags):
+                relation.insert(
+                    ExperimentRow(
+                        dataset=experiment.dataset,
+                        error_type=experiment.error_type,
+                        scenario=experiment.scenario,
+                        detection=experiment.detection,
+                        repair=experiment.repair,
+                        ml_model=experiment.ml_model,
+                        flag=flag,
+                        test=test,
+                        mean_before=float(
+                            np.mean([pair.before for pair in experiment.pairs])
+                        ),
+                        mean_after=float(
+                            np.mean([pair.after for pair in experiment.pairs])
+                        ),
+                    )
+                )
+        return database

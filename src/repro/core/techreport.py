@@ -1,0 +1,92 @@
+"""Technical-report generation.
+
+The paper ships a technical report with *all* query results ("we refer
+readers to the technical report for all query results", §V-A).  This
+module renders the complete set — every applicable Q1-Q5 template on
+every relation for every error type present — into one markdown
+document, plus the Table-16 summary and the relation inventory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..cleaning.base import ERROR_TYPES
+from .queries import all_queries
+from .relations import CleanMLDatabase
+from .reporting import relation_sizes, render_summary_table
+
+
+def _markdown_table(result: dict[str, dict[str, int]], group_header: str) -> str:
+    lines = [
+        f"| {group_header} | P | S | N |",
+        "|---|---|---|---|",
+    ]
+    for group, counts in result.items():
+        total = sum(counts.values())
+        cells = []
+        for flag in ("P", "S", "N"):
+            count = counts.get(flag, 0)
+            share = round(100 * count / total) if total else 0
+            cells.append(f"{share}% ({count})")
+        lines.append(f"| {group} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def generate_report(database: CleanMLDatabase, title: str = "CleanML results") -> str:
+    """Full markdown report over every error type and relation."""
+    sections = [f"# {title}", ""]
+
+    sizes = relation_sizes(database)
+    sections.append("## Relation inventory")
+    sections.append("")
+    sections.append("| relation | rows |")
+    sections.append("|---|---|")
+    for name, count in sizes.items():
+        sections.append(f"| {name} | {count} |")
+    sections.append("")
+
+    sections.append("## Summary (paper Table 16)")
+    sections.append("")
+    sections.append("```")
+    sections.append(render_summary_table(database))
+    sections.append("```")
+    sections.append("")
+
+    for error_type in ERROR_TYPES:
+        present = any(
+            database[name].filter(error_type=error_type)
+            for name in ("R1", "R2", "R3")
+        )
+        if not present:
+            continue
+        sections.append(f"## {error_type.replace('_', ' ')}")
+        sections.append("")
+        for name in ("R1", "R2", "R3"):
+            relation = database[name]
+            if not relation.filter(error_type=error_type):
+                continue
+            for query, result in all_queries(relation, error_type).items():
+                group_header = {
+                    "Q1": "all",
+                    "Q2": "scenario",
+                    "Q3": "model",
+                    "Q4.1": "detection",
+                    "Q4.2": "repair",
+                    "Q5": "dataset",
+                }[query]
+                sections.append(f"### {query} on {name}")
+                sections.append("")
+                sections.append(_markdown_table(result, group_header))
+                sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    database: CleanMLDatabase, path: str | Path, title: str = "CleanML results"
+) -> Path:
+    """Render and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(database, title=title))
+    return path

@@ -1,0 +1,48 @@
+"""Dataset suite: 14 generators emulating the paper's Table 3 corpora."""
+
+from .audit import ErrorAudit, audit_dataset, render_audits
+from .base import Dataset, attach_row_ids, labels_from_score, sigmoid
+from .inject import (
+    MISLABEL_STRATEGIES,
+    inconsistency_rules,
+    inject_duplicates,
+    inject_inconsistencies,
+    inject_mislabels,
+    inject_missing,
+    inject_outliers,
+    perturb_string,
+)
+from .registry import (
+    DATASET_NAMES,
+    MISLABEL_INJECTION_DATASETS,
+    datasets_with,
+    expected_datasets,
+    load_all,
+    load_dataset,
+    mislabel_variants,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "ErrorAudit",
+    "MISLABEL_INJECTION_DATASETS",
+    "MISLABEL_STRATEGIES",
+    "attach_row_ids",
+    "audit_dataset",
+    "datasets_with",
+    "expected_datasets",
+    "inconsistency_rules",
+    "inject_duplicates",
+    "inject_inconsistencies",
+    "inject_mislabels",
+    "inject_missing",
+    "inject_outliers",
+    "labels_from_score",
+    "load_all",
+    "load_dataset",
+    "mislabel_variants",
+    "perturb_string",
+    "render_audits",
+    "sigmoid",
+]

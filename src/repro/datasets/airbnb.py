@@ -1,0 +1,107 @@
+"""Airbnb dataset (paper Table 3: missing values + outliers + duplicates).
+
+The paper's only three-error dataset.  Emulates scraped listing data:
+review scores go missing for new listings (MAR driven by review count),
+prices contain fat-finger outliers ($10,000 instead of $100), and
+re-scraped listings appear as near-duplicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import DUPLICATES, MISSING_VALUES, OUTLIERS
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, labels_from_score
+from .inject import inject_duplicates, inject_missing, inject_outliers
+
+_ROOM_TYPES = ["entire_home", "private_room", "shared_room"]
+_ROOM_PRICE = {"entire_home": 1.0, "private_room": -0.3, "shared_room": -1.0}
+_NEIGHBORHOODS = ["downtown", "midtown", "suburb", "airport", "beach"]
+_HOOD_PRICE = {
+    "downtown": 0.8, "midtown": 0.4, "suburb": -0.4,
+    "airport": -0.6, "beach": 0.9,
+}
+_NAME_ADJ = ["cozy", "sunny", "modern", "quiet", "charming", "spacious"]
+_NAME_NOUN = ["loft", "studio", "apartment", "bungalow", "flat", "suite"]
+
+
+def generate(
+    n_rows: int = 500,
+    seed: int = 0,
+    missing_rate: float = 0.25,
+    outlier_rate: float = 0.02,
+    duplicate_rate: float = 0.06,
+) -> Dataset:
+    """Build the Airbnb dataset (label: high vs low nightly rate)."""
+    rng = np.random.default_rng(seed)
+
+    names = []
+    for i in range(n_rows):
+        adjective = rng.choice(_NAME_ADJ)
+        noun = rng.choice(_NAME_NOUN)
+        names.append(f"{adjective} {noun} {i}")
+    room_types = rng.choice(_ROOM_TYPES, size=n_rows, p=[0.55, 0.35, 0.1])
+    neighborhoods = rng.choice(_NEIGHBORHOODS, size=n_rows)
+    accommodates = np.clip(rng.poisson(3.0, n_rows), 1, 12).astype(float)
+    reviews = rng.poisson(20.0, n_rows).astype(float)
+    review_score = np.clip(rng.normal(4.6, 0.3, n_rows), 1.0, 5.0)
+    availability = rng.uniform(0.0, 365.0, n_rows)
+
+    score = (
+        np.array([_ROOM_PRICE[r] for r in room_types])
+        + np.array([_HOOD_PRICE[h] for h in neighborhoods])
+        + 0.25 * accommodates
+        + 0.4 * (review_score - 4.6)
+    )
+    labels = labels_from_score(
+        score, rng, positive="high", negative="low", noise=0.1
+    )
+
+    schema = make_schema(
+        numeric=[
+            "accommodates", "reviews", "review_score", "availability",
+        ],
+        categorical=["name", "room_type", "neighborhood"],
+        label="rate",
+        keys=("name",),
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "name": names,
+                "room_type": room_types.tolist(),
+                "neighborhood": neighborhoods.tolist(),
+                "accommodates": accommodates.tolist(),
+                "reviews": reviews.tolist(),
+                "review_score": review_score.tolist(),
+                "availability": availability.tolist(),
+                "rate": labels,
+            },
+        )
+    )
+    # new listings have no review score yet: MAR driven by review count
+    dirty = inject_missing(
+        clean, ["review_score"], missing_rate, rng, driver="reviews"
+    )
+    dirty = inject_outliers(
+        dirty, ["availability", "accommodates"], outlier_rate, rng, magnitude=20.0
+    )
+    dirty = inject_duplicates(
+        dirty,
+        rate=duplicate_rate,
+        rng=rng,
+        perturb_columns=["name"],
+        exact_fraction=0.5,
+    )
+    return Dataset(
+        name="Airbnb",
+        dirty=dirty,
+        clean=clean,
+        error_types=(MISSING_VALUES, OUTLIERS, DUPLICATES),
+        description=(
+            "Scraped-listings emulation with MAR missing review scores, "
+            "fat-finger outliers and re-scrape duplicates"
+        ),
+    )

@@ -1,0 +1,93 @@
+"""BabyProduct dataset (paper Table 3: missing values).
+
+Emulates a scraped baby-products catalog: weight and dimensions are
+frequently absent from listings.  This is one of the two datasets where
+the paper compares human cleaning (manually filled missing values)
+against automatic imputation (§VII-C) — our oracle plays the human.  The
+task predicts whether a product belongs to the "gear" category (strollers
+and car seats) versus nursery items, which the physical attributes the
+missingness hits actually determine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import MISSING_VALUES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, sigmoid
+from .inject import inject_missing
+
+_BRANDS = ["tinytots", "cuddleco", "brightstart", "snugglebee", "wobblr"]
+_GEAR_WORDS = ["stroller", "carseat", "carrier", "jogger", "travel"]
+_NURSERY_WORDS = ["crib", "blanket", "mobile", "lamp", "rocker"]
+
+
+def generate(n_rows: int = 450, seed: int = 0, missing_rate: float = 0.4) -> Dataset:
+    """Build the BabyProduct dataset (label: gear vs nursery)."""
+    rng = np.random.default_rng(seed)
+
+    is_gear = rng.random(n_rows) < 0.5
+    names, brands = [], []
+    for i in range(n_rows):
+        word = rng.choice(_GEAR_WORDS if is_gear[i] else _NURSERY_WORDS)
+        # some listings use uninformative names, keeping features relevant
+        if rng.random() < 0.3:
+            word = "deluxe item"
+        names.append(f"{word} model {i}")
+        brands.append(str(rng.choice(_BRANDS)))
+
+    weight = np.where(
+        is_gear,
+        rng.normal(9.0, 2.0, n_rows),  # kg: strollers, car seats
+        rng.normal(3.0, 1.5, n_rows),  # nursery items
+    )
+    weight = np.clip(weight, 0.2, 20.0)
+    length = np.where(
+        is_gear, rng.normal(80.0, 15.0, n_rows), rng.normal(45.0, 18.0, n_rows)
+    )
+    length = np.clip(length, 10.0, 150.0)
+    price = np.clip(
+        np.where(
+            is_gear,
+            rng.normal(180.0, 60.0, n_rows),
+            rng.normal(60.0, 30.0, n_rows),
+        ),
+        5.0,
+        600.0,
+    )
+    noise = rng.random(n_rows) < 0.08
+    labels = np.where(is_gear ^ noise, "gear", "nursery").astype(object)
+
+    schema = make_schema(
+        numeric=["weight", "length", "price"],
+        categorical=["name", "brand"],
+        label="category",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "name": names,
+                "brand": brands,
+                "weight": weight.tolist(),
+                "length": length.tolist(),
+                "price": price.tolist(),
+                "category": labels.tolist(),
+            },
+        )
+    )
+    # listings omit physical specs; heavier items (gear) more complete,
+    # so missingness anti-correlates with the informative features (MAR)
+    dirty = inject_missing(clean, ["weight", "length"], missing_rate, rng, driver="price")
+    return Dataset(
+        name="BabyProduct",
+        dirty=dirty,
+        clean=clean,
+        error_types=(MISSING_VALUES,),
+        description=(
+            "Baby-products catalog emulation: gear vs nursery "
+            "classification with missing physical attributes "
+            "(human-cleaning comparison dataset)"
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Citation dataset (paper Table 3: duplicates).
+
+Emulates DBLP/Scholar-style citation records: the same paper appears
+multiple times with formatting differences (venue abbreviations, author
+initials, typos).  The task classifies records into database vs machine
+learning papers from title words and venue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import DUPLICATES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids
+from .inject import inject_duplicates
+
+_DB_WORDS = [
+    "query", "transaction", "index", "join", "storage", "schema",
+    "relational", "sql", "warehouse", "integrity",
+]
+_ML_WORDS = [
+    "learning", "neural", "classifier", "gradient", "embedding",
+    "bayesian", "kernel", "clustering", "regression", "inference",
+]
+_DB_VENUES = ["sigmod", "vldb", "icde", "pods"]
+_ML_VENUES = ["icml", "neurips", "kdd", "aaai"]
+_SURNAMES = [
+    "chen", "garcia", "mueller", "tanaka", "okafor", "rossi", "novak",
+    "haddad", "kim", "fernandez", "olsen", "petrov",
+]
+
+
+def generate(n_rows: int = 350, seed: int = 0, duplicate_rate: float = 0.08) -> Dataset:
+    """Build the Citation dataset (label: db vs ml paper)."""
+    rng = np.random.default_rng(seed)
+
+    titles, venues, authors, years, labels = [], [], [], [], []
+    for i in range(n_rows):
+        is_db = rng.random() < 0.5
+        words = _DB_WORDS if is_db else _ML_WORDS
+        picked = rng.choice(words, size=3, replace=False)
+        # a little vocabulary bleed keeps the task from saturating
+        if rng.random() < 0.25:
+            other = _ML_WORDS if is_db else _DB_WORDS
+            picked[2] = rng.choice(other)
+        titles.append(
+            f"{picked[0]} {picked[1]} with {picked[2]} number {i}"
+        )
+        venue_pool = _DB_VENUES if is_db else _ML_VENUES
+        if rng.random() < 0.15:
+            venue_pool = _ML_VENUES if is_db else _DB_VENUES
+        venues.append(str(rng.choice(venue_pool)))
+        first = rng.choice(_SURNAMES)
+        second = rng.choice(_SURNAMES)
+        authors.append(f"{first} and {second}")
+        years.append(float(rng.integers(1995, 2021)))
+        labels.append("db" if is_db else "ml")
+
+    schema = make_schema(
+        numeric=["year"],
+        categorical=["title", "authors", "venue"],
+        label="field",
+        keys=("title",),
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "title": titles,
+                "authors": authors,
+                "venue": venues,
+                "year": years,
+                "field": labels,
+            },
+        )
+    )
+    dirty = inject_duplicates(
+        clean,
+        rate=duplicate_rate,
+        rng=rng,
+        perturb_columns=["title", "authors"],
+        exact_fraction=0.4,
+    )
+    return Dataset(
+        name="Citation",
+        dirty=dirty,
+        clean=clean,
+        error_types=(DUPLICATES,),
+        description=(
+            "DBLP/Scholar-style citation records with re-entered "
+            "near-duplicate entries; task: database vs ML paper"
+        ),
+    )

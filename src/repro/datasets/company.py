@@ -1,0 +1,100 @@
+"""Company dataset (paper Table 3: inconsistencies).
+
+Emulates a company registry scraped from filings: state names appear in
+many formats ("CA", "Calif.", "California") and sectors under alternate
+labels.  The paper singles Company out as a dataset where cleaning
+inconsistencies has positive impact because the error count is large —
+so the injection rate here is the highest of the inconsistency datasets.
+The task predicts whether a company is profitable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import INCONSISTENCIES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, labels_from_score
+from .inject import inconsistency_rules, inject_inconsistencies
+
+_STATES = ["california", "new york", "texas", "washington", "georgia"]
+_STATE_ECONOMY = {
+    "california": 0.6, "new york": 0.5, "texas": 0.2,
+    "washington": 0.4, "georgia": -0.1,
+}
+_SECTORS = ["software", "retail", "energy", "biotech", "finance"]
+_SECTOR_MARGIN = {
+    "software": 0.9, "retail": -0.6, "energy": 0.1,
+    "biotech": -0.2, "finance": 0.5,
+}
+
+_VARIANTS = {
+    "state": {
+        "california": ["California", "CA", "Calif.", "CALIFORNIA"],
+        "new york": ["New York", "NY", "N.Y."],
+        "texas": ["Texas", "TX", "Tex."],
+        "washington": ["Washington", "WA", "Wash."],
+        "georgia": ["Georgia", "GA"],
+    },
+    "sector": {
+        "software": ["Software", "SW", "software services"],
+        "retail": ["Retail", "retail trade"],
+        "energy": ["Energy", "oil and energy"],
+        "biotech": ["Biotech", "bio tech", "biotechnology"],
+        "finance": ["Finance", "financial services"],
+    },
+}
+
+
+def generate(
+    n_rows: int = 450, seed: int = 0, inconsistency_rate: float = 0.45
+) -> Dataset:
+    """Build the Company dataset (label: profitable vs unprofitable)."""
+    rng = np.random.default_rng(seed)
+
+    states = rng.choice(_STATES, size=n_rows, p=[0.3, 0.25, 0.2, 0.15, 0.1])
+    sectors = rng.choice(_SECTORS, size=n_rows)
+    employees = rng.lognormal(4.5, 1.2, n_rows)
+    revenue = employees * rng.lognormal(4.0, 0.5, n_rows)
+    age_years = np.clip(rng.normal(15.0, 10.0, n_rows), 1.0, 80.0)
+
+    score = (
+        np.array([_SECTOR_MARGIN[s] for s in sectors])
+        + np.array([_STATE_ECONOMY[s] for s in states])
+        + 0.3 * np.log(revenue / revenue.mean())
+        + 0.01 * age_years
+    )
+    labels = labels_from_score(
+        score, rng, positive="profitable", negative="unprofitable", noise=0.12
+    )
+
+    schema = make_schema(
+        numeric=["employees", "revenue", "age_years"],
+        categorical=["state", "sector"],
+        label="outcome",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "state": states.tolist(),
+                "sector": sectors.tolist(),
+                "employees": employees.tolist(),
+                "revenue": revenue.tolist(),
+                "age_years": age_years.tolist(),
+                "outcome": labels,
+            },
+        )
+    )
+    dirty = inject_inconsistencies(clean, _VARIANTS, inconsistency_rate, rng)
+    return Dataset(
+        name="Company",
+        dirty=dirty,
+        clean=clean,
+        error_types=(INCONSISTENCIES,),
+        description=(
+            "Company-registry emulation: profitability prediction with "
+            "heavy state/sector spelling inconsistencies"
+        ),
+        rules=inconsistency_rules(_VARIANTS),
+    )

@@ -1,0 +1,82 @@
+"""Housing dataset — regression extension (paper §VIII).
+
+A house-price regression corpus for the "other ML tasks" future-work
+study: price driven by size, rooms, age and neighborhood, with the two
+error types that matter most for regression planted on top — MAR
+missing values (unlisted sizes) and fat-finger price-driver outliers.
+The target column is numeric, so this dataset lives outside the
+14-dataset classification registry and is consumed by
+:func:`repro.core.regression.run_regression_study`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import MISSING_VALUES, OUTLIERS
+from ..table import ColumnType, Table, make_schema
+from .base import Dataset, attach_row_ids
+from .inject import inject_missing, inject_outliers
+
+_NEIGHBORHOODS = ["riverside", "old town", "hills", "station", "meadows"]
+_HOOD_PREMIUM = {
+    "riverside": 60.0, "old town": 30.0, "hills": 45.0,
+    "station": -20.0, "meadows": 0.0,
+}
+
+
+def generate(
+    n_rows: int = 400,
+    seed: int = 0,
+    missing_rate: float = 0.2,
+    outlier_rate: float = 0.03,
+) -> Dataset:
+    """Build the Housing regression dataset (target: price in $1000s)."""
+    rng = np.random.default_rng(seed)
+
+    sqft = np.clip(rng.normal(140.0, 40.0, n_rows), 35.0, 400.0)
+    rooms = np.clip((sqft / 30.0 + rng.normal(0, 0.8, n_rows)).round(), 1, 12)
+    age = np.clip(rng.normal(35.0, 20.0, n_rows), 0.0, 120.0)
+    neighborhood = rng.choice(_NEIGHBORHOODS, size=n_rows)
+
+    price = (
+        2.1 * sqft
+        + 12.0 * rooms
+        - 0.9 * age
+        + np.array([_HOOD_PREMIUM[h] for h in neighborhood])
+        + rng.normal(0.0, 25.0, n_rows)
+        + 80.0
+    )
+
+    schema = make_schema(
+        numeric=["sqft", "rooms", "age"],
+        categorical=["neighborhood"],
+        label="price",
+        label_type=ColumnType.NUMERIC,
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "sqft": sqft.tolist(),
+                "rooms": rooms.tolist(),
+                "age": age.tolist(),
+                "neighborhood": neighborhood.tolist(),
+                "price": price.tolist(),
+            },
+        )
+    )
+    # unlisted floor areas, more often for old houses (MAR)
+    dirty = inject_missing(clean, ["sqft"], missing_rate, rng, driver="age")
+    # fat-finger entry errors on the strongest price driver
+    dirty = inject_outliers(dirty, ["sqft"], outlier_rate, rng, magnitude=15.0)
+    return Dataset(
+        name="Housing",
+        dirty=dirty,
+        clean=clean,
+        error_types=(MISSING_VALUES, OUTLIERS),
+        description=(
+            "house-price regression with MAR missing floor areas and "
+            "fat-finger outliers (§VIII regression extension)"
+        ),
+    )

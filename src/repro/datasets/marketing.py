@@ -1,0 +1,86 @@
+"""Marketing dataset (paper Table 3: missing values + mislabels).
+
+Emulates the household-income marketing survey used by CleanML: mixed
+demographic answers predicting whether household income is high.  Survey
+non-response is the natural missingness mechanism — respondents skip
+questions, and skipping correlates with age (MAR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import MISLABELS, MISSING_VALUES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, sigmoid
+from .inject import inject_missing
+
+_EDUCATION = ["grade_school", "high_school", "college", "graduate"]
+_OCCUPATION = ["student", "clerical", "sales", "professional", "manager", "retired"]
+_HOME = ["rent", "own", "family"]
+
+
+def generate(n_rows: int = 550, seed: int = 0, missing_rate: float = 0.12) -> Dataset:
+    """Build the Marketing dataset (label: income high/low)."""
+    rng = np.random.default_rng(seed)
+
+    age = np.clip(rng.normal(42.0, 15.0, n_rows), 18.0, 90.0)
+    education = rng.choice(_EDUCATION, size=n_rows, p=[0.1, 0.35, 0.35, 0.2])
+    occupation = rng.choice(
+        _OCCUPATION, size=n_rows, p=[0.08, 0.2, 0.18, 0.28, 0.16, 0.1]
+    )
+    home = rng.choice(_HOME, size=n_rows, p=[0.35, 0.55, 0.1])
+    household = np.clip(rng.poisson(2.4, n_rows), 1, 9).astype(float)
+    years_resident = np.clip(rng.normal(8.0, 6.0, n_rows), 0.0, 50.0)
+
+    education_bonus = {e: i for i, e in enumerate(_EDUCATION)}
+    occupation_bonus = {
+        "student": -1.0, "clerical": 0.0, "sales": 0.3,
+        "professional": 1.2, "manager": 1.5, "retired": -0.3,
+    }
+    score = (
+        0.8 * np.array([education_bonus[e] for e in education])
+        + np.array([occupation_bonus[o] for o in occupation])
+        + 0.6 * (home == "own").astype(float)
+        + 0.012 * age
+        + 0.05 * years_resident
+    )
+    high = rng.random(n_rows) < sigmoid(
+        1.8 * (score - score.mean()) / score.std()
+    )
+    labels = np.where(high, "high", "low").astype(object)
+
+    schema = make_schema(
+        numeric=["age", "household", "years_resident"],
+        categorical=["education", "occupation", "home"],
+        label="income",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "age": age.tolist(),
+                "household": household.tolist(),
+                "years_resident": years_resident.tolist(),
+                "education": education.tolist(),
+                "occupation": occupation.tolist(),
+                "home": home.tolist(),
+                "income": labels.tolist(),
+            },
+        )
+    )
+    # non-response: occupation/education/years skipped, correlated with age
+    dirty = inject_missing(
+        clean, ["occupation", "years_resident"], missing_rate, rng, driver="age"
+    )
+    dirty = inject_missing(dirty, ["education"], 0.05, rng)
+    return Dataset(
+        name="Marketing",
+        dirty=dirty,
+        clean=clean,
+        error_types=(MISSING_VALUES, MISLABELS),
+        description=(
+            "Household-income survey emulation with age-correlated "
+            "non-response missingness"
+        ),
+    )

@@ -1,0 +1,117 @@
+"""Restaurant dataset (paper Table 3: duplicates + inconsistencies).
+
+Emulates the Fodors/Zagat restaurant-matching corpus: the same venue
+listed by two guides with name variations (duplicates) and city names in
+inconsistent formats.  The task predicts whether a restaurant is
+expensive from its category, city and rating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import DUPLICATES, INCONSISTENCIES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, labels_from_score
+from .inject import (
+    inconsistency_rules,
+    inject_duplicates,
+    inject_inconsistencies,
+)
+
+_CATEGORIES = ["steakhouse", "sushi", "diner", "italian", "cafe", "seafood"]
+_CATEGORY_PRICE = {
+    "steakhouse": 1.2, "sushi": 0.9, "diner": -0.8,
+    "italian": 0.3, "cafe": -0.9, "seafood": 0.6,
+}
+_CITIES = ["new york", "los angeles", "san francisco", "atlanta"]
+_CITY_PRICE = {
+    "new york": 0.7, "los angeles": 0.4, "san francisco": 0.6, "atlanta": -0.3,
+}
+
+_VARIANTS = {
+    "city": {
+        "new york": ["New York", "NYC", "new york city"],
+        "los angeles": ["Los Angeles", "LA", "los angeles ca"],
+        "san francisco": ["San Francisco", "SF"],
+        "atlanta": ["Atlanta", "ATL"],
+    },
+}
+
+_NAME_FIRST = [
+    "golden", "rustic", "blue", "urban", "little", "grand", "olive",
+    "copper", "velvet", "harbor",
+]
+_NAME_SECOND = [
+    "spoon", "table", "kitchen", "grill", "garden", "plate", "oven",
+    "corner", "house", "terrace",
+]
+
+
+def generate(
+    n_rows: int = 380,
+    seed: int = 0,
+    duplicate_rate: float = 0.08,
+    inconsistency_rate: float = 0.25,
+) -> Dataset:
+    """Build the Restaurant dataset (label: expensive vs affordable)."""
+    rng = np.random.default_rng(seed)
+
+    names = []
+    for i in range(n_rows):
+        first = rng.choice(_NAME_FIRST)
+        second = rng.choice(_NAME_SECOND)
+        names.append(f"{first} {second} {i}")
+    categories = rng.choice(_CATEGORIES, size=n_rows)
+    cities = rng.choice(_CITIES, size=n_rows, p=[0.35, 0.3, 0.2, 0.15])
+    rating = np.clip(rng.normal(3.8, 0.6, n_rows), 1.0, 5.0)
+    seats = np.clip(rng.normal(60.0, 25.0, n_rows), 10.0, 200.0)
+
+    score = (
+        np.array([_CATEGORY_PRICE[c] for c in categories])
+        + np.array([_CITY_PRICE[c] for c in cities])
+        + 0.8 * (rating - 3.8)
+        - 0.004 * (seats - 60.0)
+    )
+    labels = labels_from_score(
+        score, rng, positive="expensive", negative="affordable", noise=0.12
+    )
+
+    schema = make_schema(
+        numeric=["rating", "seats"],
+        categorical=["name", "city", "category"],
+        label="price",
+        keys=("name", "city"),
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "name": names,
+                "city": cities.tolist(),
+                "category": categories.tolist(),
+                "rating": rating.tolist(),
+                "seats": seats.tolist(),
+                "price": labels,
+            },
+        )
+    )
+    dirty = inject_inconsistencies(clean, _VARIANTS, inconsistency_rate, rng)
+    dirty = inject_duplicates(
+        dirty,
+        rate=duplicate_rate,
+        rng=rng,
+        perturb_columns=["name"],
+        exact_fraction=0.5,
+    )
+    return Dataset(
+        name="Restaurant",
+        dirty=dirty,
+        clean=clean,
+        error_types=(DUPLICATES, INCONSISTENCIES),
+        description=(
+            "Fodors/Zagat emulation: price-level prediction with "
+            "double-listed venues and inconsistent city spellings"
+        ),
+        rules=inconsistency_rules(_VARIANTS),
+    )

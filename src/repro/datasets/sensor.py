@@ -1,0 +1,74 @@
+"""Sensor dataset (paper Table 3: outliers).
+
+Emulates the Intel Lab sensor corpus: temperature, humidity, light and
+battery-voltage readings from motes scattered around a lab.  The task —
+as in the original CleanML setup — is to predict whether a reading was
+taken during the day, which light and temperature determine.  Failing
+motes produce the classic outlier patterns: saturated light sensors,
+negative temperatures from dying batteries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import OUTLIERS
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids
+from .inject import inject_outliers
+
+
+def generate(n_rows: int = 600, seed: int = 0, outlier_rate: float = 0.03) -> Dataset:
+    """Build the Sensor dataset (label: day vs night)."""
+    rng = np.random.default_rng(seed)
+
+    hour = rng.uniform(0.0, 24.0, n_rows)
+    is_day = (hour > 7.0) & (hour < 19.0)
+    sun = np.clip(np.sin((hour - 6.0) / 12.0 * np.pi), 0.0, None)
+
+    temperature = 18.0 + 6.0 * sun + rng.normal(0.0, 1.0, n_rows)
+    humidity = 55.0 - 12.0 * sun + rng.normal(0.0, 4.0, n_rows)
+    light = 30.0 + 480.0 * sun + rng.normal(0.0, 25.0, n_rows)
+    voltage = 2.7 - 0.1 * sun + rng.normal(0.0, 0.05, n_rows)
+    mote = [f"mote_{int(i)}" for i in rng.integers(1, 9, n_rows)]
+
+    labels = np.where(is_day, "day", "night").astype(object)
+    # occasional mislogged timestamps keep the clean task non-trivial
+    flip = rng.random(n_rows) < 0.05
+    labels[flip] = np.where(labels[flip] == "day", "night", "day")
+
+    schema = make_schema(
+        numeric=["temperature", "humidity", "light", "voltage"],
+        categorical=["mote"],
+        label="period",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "temperature": temperature.tolist(),
+                "humidity": humidity.tolist(),
+                "light": light.tolist(),
+                "voltage": voltage.tolist(),
+                "mote": mote,
+                "period": labels.tolist(),
+            },
+        )
+    )
+    dirty = inject_outliers(
+        clean,
+        columns=["temperature", "light", "voltage"],
+        rate=outlier_rate,
+        rng=rng,
+        magnitude=15.0,
+    )
+    return Dataset(
+        name="Sensor",
+        dirty=dirty,
+        clean=clean,
+        error_types=(OUTLIERS,),
+        description=(
+            "Intel-lab style mote readings with failing-sensor outliers; "
+            "task: day vs night from temperature/light/voltage"
+        ),
+    )

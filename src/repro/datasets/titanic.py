@@ -1,0 +1,81 @@
+"""Titanic dataset (paper Table 3: missing values + mislabels).
+
+Emulates the Kaggle Titanic corpus: demographic and ticket features
+predicting survival.  The famous data-quality problem — ~20% missing
+ages, concentrated in third class — is reproduced as MAR missingness
+driven by fare, plus missing embarkation ports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cleaning.base import MISLABELS, MISSING_VALUES
+from ..table import Table, make_schema
+from .base import Dataset, attach_row_ids, sigmoid
+from .inject import inject_missing
+
+
+def generate(n_rows: int = 500, seed: int = 0, missing_rate: float = 0.28) -> Dataset:
+    """Build the Titanic dataset (label: survived yes/no)."""
+    rng = np.random.default_rng(seed)
+
+    pclass = rng.choice(["1", "2", "3"], size=n_rows, p=[0.24, 0.21, 0.55])
+    sex = rng.choice(["female", "male"], size=n_rows, p=[0.35, 0.65])
+    age = np.clip(rng.normal(30.0, 13.0, n_rows), 0.5, 80.0)
+    class_fare = {"1": 84.0, "2": 21.0, "3": 13.0}
+    fare = np.array([class_fare[c] for c in pclass]) * rng.lognormal(
+        0.0, 0.4, n_rows
+    )
+    sibsp = rng.poisson(0.5, n_rows).astype(float)
+    parch = rng.poisson(0.4, n_rows).astype(float)
+    embarked = rng.choice(["S", "C", "Q"], size=n_rows, p=[0.72, 0.19, 0.09])
+
+    # survival odds: women and children first, first class favored; age
+    # carries real signal so that deleting rows with missing ages hurts
+    score = (
+        1.3 * (sex == "female").astype(float)
+        + 0.9 * (pclass == "1").astype(float)
+        + 0.4 * (pclass == "2").astype(float)
+        - 0.035 * age
+        - 0.15 * sibsp
+        + 0.003 * fare
+        - 0.6
+    )
+    survived = rng.random(n_rows) < sigmoid(2.0 * (score - score.mean()))
+    labels = np.where(survived, "yes", "no").astype(object)
+
+    schema = make_schema(
+        numeric=["age", "fare", "sibsp", "parch"],
+        categorical=["pclass", "sex", "embarked"],
+        label="survived",
+    )
+    clean = attach_row_ids(
+        Table.from_dict(
+            schema,
+            {
+                "age": age.tolist(),
+                "fare": fare.tolist(),
+                "sibsp": sibsp.tolist(),
+                "parch": parch.tolist(),
+                "pclass": pclass.tolist(),
+                "sex": sex.tolist(),
+                "embarked": embarked.tolist(),
+                "survived": labels.tolist(),
+            },
+        )
+    )
+    # ages go missing MAR (driven by fare: cheap tickets, poor records);
+    # embarkation ports go missing MCAR at a low rate
+    dirty = inject_missing(clean, ["age"], missing_rate, rng, driver="fare")
+    dirty = inject_missing(dirty, ["embarked"], 0.03, rng)
+    return Dataset(
+        name="Titanic",
+        dirty=dirty,
+        clean=clean,
+        error_types=(MISSING_VALUES, MISLABELS),
+        description=(
+            "Kaggle Titanic emulation: survival prediction with MAR "
+            "missing ages and missing embarkation ports"
+        ),
+    )

@@ -1,0 +1,110 @@
+"""Classifier interface shared by every model in the ML substrate.
+
+The environment ships no scikit-learn, so CleanML's seven classifiers are
+implemented from scratch on numpy.  They all speak the small protocol
+defined here: ``fit(X, y)`` on a dense ``float64`` matrix and integer class
+ids, ``predict`` / ``predict_proba``, and parameter introspection for the
+random hyper-parameter search.
+"""
+
+from __future__ import annotations
+
+import inspect
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Classifier(ABC):
+    """Abstract base class for all classifiers.
+
+    Subclasses declare hyper-parameters as constructor keyword arguments
+    and store them under the same attribute names; :meth:`get_params` and
+    :meth:`clone` rely on that convention (the same one scikit-learn uses).
+    """
+
+    #: set by fit(): number of classes seen during training
+    n_classes_: int
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on ``X`` (n_samples, n_features) and class ids ``y``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape (n_samples, n_classes)."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class id per sample."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    # -- parameter protocol ---------------------------------------------------
+
+    def get_params(self) -> dict:
+        """Constructor keyword arguments and their current values."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            name
+            for name, parameter in signature.parameters.items()
+            if name != "self"
+            and parameter.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params) -> "Classifier":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = self.get_params()
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"{type(self).__name__} has no parameter {name!r}"
+                )
+            setattr(self, name, value)
+        return self
+
+    def clone(self, **overrides) -> "Classifier":
+        """Fresh, unfitted instance with the same (overridden) parameters."""
+        params = self.get_params()
+        params.update(overrides)
+        return type(self)(**params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"
+
+
+def check_fit_inputs(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Validate and normalize (X, y); returns (X, y, n_classes).
+
+    ``y`` must contain contiguous integer class ids ``0..K-1`` (the
+    :class:`~repro.table.LabelEncoder` guarantees that); ``X`` must be a 2-D
+    float matrix with one row per label.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    if y.min() < 0:
+        raise ValueError("class ids must be non-negative")
+    n_classes = int(y.max()) + 1
+    return X, y, n_classes
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    """(n_samples, n_classes) one-hot encoding of integer class ids."""
+    out = np.zeros((len(y), n_classes), dtype=np.float64)
+    out[np.arange(len(y)), y] = 1.0
+    return out

@@ -1,0 +1,217 @@
+"""XGBoost-style gradient-boosted trees.
+
+Implements the second-order boosting objective of Chen & Guestrin's
+XGBoost on the softmax cross-entropy loss: per round and per class, a
+regression tree is grown greedily on (gradient, hessian) statistics with
+the regularized gain
+
+    gain = 1/2 * [ G_L^2/(H_L+lambda) + G_R^2/(H_R+lambda)
+                   - G^2/(H+lambda) ] - gamma
+
+and leaf weights ``-G/(H+lambda)`` shrunk by ``learning_rate``.  Row
+subsampling per round matches XGBoost's stochastic variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs, one_hot, softmax
+
+_EPS = 1e-12
+
+
+class _RegressionNode:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value: float) -> None:
+        self.feature: int | None = None
+        self.threshold = 0.0
+        self.left: "_RegressionNode | None" = None
+        self.right: "_RegressionNode | None" = None
+        self.value = value
+
+
+class _GradientTree:
+    """One regression tree over (gradient, hessian) statistics."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        reg_lambda: float,
+        gamma: float,
+        min_child_weight: float,
+    ) -> None:
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+
+    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "_GradientTree":
+        self._root = self._build(X, grad, hess, depth=0)
+        return self
+
+    def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
+        return -grad_sum / (hess_sum + self.reg_lambda + _EPS)
+
+    def _build(
+        self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray, depth: int
+    ) -> _RegressionNode:
+        grad_sum, hess_sum = float(grad.sum()), float(hess.sum())
+        node = _RegressionNode(self._leaf_value(grad_sum, hess_sum))
+        if depth >= self.max_depth or len(X) < 2:
+            return node
+
+        split = self._best_split(X, grad, hess, grad_sum, hess_sum)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], grad[mask], hess[mask], depth + 1)
+        node.right = self._build(X[~mask], grad[~mask], hess[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+    ) -> tuple[int, float] | None:
+        parent_score = grad_sum**2 / (hess_sum + self.reg_lambda + _EPS)
+        best_gain = _EPS
+        best: tuple[int, float] | None = None
+        for feature in range(X.shape[1]):
+            order = np.argsort(X[:, feature], kind="stable")
+            sorted_x = X[order, feature]
+            cum_grad = np.cumsum(grad[order])
+            cum_hess = np.cumsum(hess[order])
+
+            boundary = np.nonzero(sorted_x[1:] > sorted_x[:-1] + _EPS)[0] + 1
+            if len(boundary) == 0:
+                continue
+
+            left_grad = cum_grad[boundary - 1]
+            left_hess = cum_hess[boundary - 1]
+            right_grad = grad_sum - left_grad
+            right_hess = hess_sum - left_hess
+
+            ok = (left_hess >= self.min_child_weight) & (
+                right_hess >= self.min_child_weight
+            )
+            if not np.any(ok):
+                continue
+
+            gains = 0.5 * (
+                left_grad**2 / (left_hess + self.reg_lambda + _EPS)
+                + right_grad**2 / (right_hess + self.reg_lambda + _EPS)
+                - parent_score
+            ) - self.gamma
+            gains[~ok] = -np.inf
+
+            pick = int(np.argmax(gains))
+            if gains[pick] > best_gain:
+                best_gain = float(gains[pick])
+                position = boundary[pick]
+                best = (feature, float(0.5 * (sorted_x[position - 1] + sorted_x[position])))
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty(len(X))
+        self._route(self._root, X, np.arange(len(X)), out)
+        return out
+
+    def _route(self, node, X, indices, out) -> None:
+        if len(indices) == 0:
+            return
+        if node.feature is None:
+            out[indices] = node.value
+            return
+        go_left = X[indices, node.feature] <= node.threshold
+        self._route(node.left, X, indices[go_left], out)
+        self._route(node.right, X, indices[~go_left], out)
+
+
+class XGBoostClassifier(Classifier):
+    """Gradient-boosted trees with the XGBoost objective (softmax loss).
+
+    Parameters
+    ----------
+    n_estimators / learning_rate / max_depth:
+        The usual boosting knobs.
+    reg_lambda / gamma / min_child_weight:
+        XGBoost's L2 leaf regularizer, minimum split gain, and minimum
+        hessian mass per child.
+    subsample:
+        Row-sampling fraction per boosting round.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.3,
+        max_depth: int = 3,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_child_weight: float = 1e-3,
+        subsample: float = 1.0,
+        random_state: int | None = None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.subsample = subsample
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "XGBoostClassifier":
+        X, y, n_classes = check_fit_inputs(X, y)
+        self.n_classes_ = n_classes
+        rng = np.random.default_rng(self.random_state)
+        targets = one_hot(y, n_classes)
+
+        n_samples = len(X)
+        scores = np.zeros((n_samples, n_classes))
+        self.trees_: list[list[_GradientTree]] = []
+
+        for _ in range(self.n_estimators):
+            proba = softmax(scores)
+            grad_all = proba - targets
+            hess_all = proba * (1.0 - proba)
+
+            if self.subsample < 1.0:
+                size = max(2, int(round(self.subsample * n_samples)))
+                rows = rng.choice(n_samples, size=size, replace=False)
+            else:
+                rows = np.arange(n_samples)
+
+            round_trees: list[_GradientTree] = []
+            for cls in range(n_classes):
+                tree = _GradientTree(
+                    max_depth=self.max_depth,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                    min_child_weight=self.min_child_weight,
+                )
+                tree.fit(X[rows], grad_all[rows, cls], hess_all[rows, cls])
+                scores[:, cls] += self.learning_rate * tree.predict(X)
+                round_trees.append(tree)
+            self.trees_.append(round_trees)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw additive scores before the softmax."""
+        X = np.asarray(X, dtype=np.float64)
+        scores = np.zeros((len(X), self.n_classes_))
+        for round_trees in self.trees_:
+            for cls, tree in enumerate(round_trees):
+                scores[:, cls] += self.learning_rate * tree.predict(X)
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return softmax(self.decision_function(X))

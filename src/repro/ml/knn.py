@@ -1,0 +1,69 @@
+"""k-nearest-neighbors classifier.
+
+Fully vectorized: pairwise squared euclidean distances via the expansion
+``|a-b|^2 = |a|^2 + |b|^2 - 2ab``, then a partial sort for the k smallest.
+KNN is the model the paper singles out as most sensitive to outliers
+(Table 12, Q3), so distance behaviour matters here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs
+
+
+class KNeighborsClassifier(Classifier):
+    """KNN with uniform or inverse-distance voting.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbors, silently capped at the training-set size.
+    weights:
+        ``"uniform"`` for majority voting, ``"distance"`` for
+        inverse-distance weighted voting.
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y, n_classes = check_fit_inputs(X, y)
+        self.n_classes_ = n_classes
+        self._X = X
+        self._y = y
+        self._sq_norms = np.sum(X**2, axis=1)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._X))
+        distances = self._pairwise_sq_distances(X)
+        neighbor_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        neighbor_labels = self._y[neighbor_idx]
+
+        if self.weights == "uniform":
+            vote_weights = np.ones_like(neighbor_labels, dtype=np.float64)
+        else:
+            rows = np.arange(len(X))[:, None]
+            neighbor_dist = np.sqrt(
+                np.maximum(distances[rows, neighbor_idx], 0.0)
+            )
+            vote_weights = 1.0 / (neighbor_dist + 1e-9)
+
+        proba = np.zeros((len(X), self.n_classes_))
+        for cls in range(self.n_classes_):
+            proba[:, cls] = np.sum(
+                vote_weights * (neighbor_labels == cls), axis=1
+            )
+        totals = proba.sum(axis=1, keepdims=True)
+        return proba / np.where(totals == 0.0, 1.0, totals)
+
+    def _pairwise_sq_distances(self, X: np.ndarray) -> np.ndarray:
+        query_norms = np.sum(X**2, axis=1)[:, None]
+        cross = X @ self._X.T
+        return np.maximum(query_norms + self._sq_norms[None, :] - 2.0 * cross, 0.0)

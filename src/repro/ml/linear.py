@@ -1,0 +1,104 @@
+"""Multinomial logistic regression trained by gradient descent.
+
+Full-batch gradient descent with Nesterov momentum and L2 regularization.
+Features arrive standardized from :class:`~repro.table.FeatureEncoder`, so
+a fixed learning rate converges reliably; an early-stopping tolerance on
+the loss keeps small problems fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs, one_hot, softmax
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression (binary problems are the 2-class special case).
+
+    Parameters
+    ----------
+    l2:
+        L2 penalty strength on the weights (not the intercept).
+    learning_rate / max_iter / tol:
+        Gradient-descent schedule.  Training stops early when the absolute
+        loss improvement drops below ``tol``.
+    momentum:
+        Nesterov momentum coefficient.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        momentum: float = 0.9,
+    ) -> None:
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.momentum = momentum
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y, n_classes = check_fit_inputs(X, y)
+        n_samples, n_features = X.shape
+        self.n_classes_ = n_classes
+        targets = one_hot(y, n_classes)
+
+        weights = np.zeros((n_features, n_classes))
+        intercept = np.zeros(n_classes)
+        velocity_w = np.zeros_like(weights)
+        velocity_b = np.zeros_like(intercept)
+        previous_loss = self._loss(X, targets, weights, intercept)
+        step = self.learning_rate
+
+        for _ in range(self.max_iter):
+            look_w = weights + self.momentum * velocity_w
+            look_b = intercept + self.momentum * velocity_b
+            proba = softmax(X @ look_w + look_b)
+            error = (proba - targets) / n_samples
+            grad_w = X.T @ error + self.l2 * look_w
+            grad_b = error.sum(axis=0)
+
+            new_velocity_w = self.momentum * velocity_w - step * grad_w
+            new_velocity_b = self.momentum * velocity_b - step * grad_b
+            new_weights = weights + new_velocity_w
+            new_intercept = intercept + new_velocity_b
+
+            loss = self._loss(X, targets, new_weights, new_intercept)
+            if not np.isfinite(loss) or loss > previous_loss + 1e-3:
+                # divergence guard: halve the step, kill the momentum,
+                # and retry from the current point
+                step *= 0.5
+                velocity_w = np.zeros_like(weights)
+                velocity_b = np.zeros_like(intercept)
+                if step < 1e-8:
+                    break
+                continue
+
+            velocity_w, velocity_b = new_velocity_w, new_velocity_b
+            weights, intercept = new_weights, new_intercept
+            if abs(previous_loss - loss) < self.tol:
+                previous_loss = loss
+                break
+            previous_loss = loss
+
+        self.coef_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw class scores (logits)."""
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return softmax(self.decision_function(X))
+
+    def _loss(self, X, targets, weights, intercept) -> float:
+        proba = softmax(X @ weights + intercept)
+        nll = -np.sum(targets * np.log(np.clip(proba, 1e-12, 1.0)))
+        penalty = 0.5 * self.l2 * np.sum(weights**2)
+        return float(nll / len(X) + penalty)

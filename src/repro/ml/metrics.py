@@ -1,0 +1,89 @@
+"""Classification metrics.
+
+The paper evaluates with accuracy on balanced datasets and F1 on
+imbalanced ones (e.g. Credit); both live here, together with the
+confusion-matrix machinery they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """(n_classes, n_classes) matrix; rows = true class, cols = predicted."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> tuple[float, float, float]:
+    """Binary precision / recall / F1 for the given positive class id.
+
+    Degenerate denominators yield 0.0, matching the usual convention.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    tp = float(np.sum((y_true == positive) & (y_pred == positive)))
+    fp = float(np.sum((y_true != positive) & (y_pred == positive)))
+    fn = float(np.sum((y_true == positive) & (y_pred != positive)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int | None = None) -> float:
+    """F1 score.
+
+    With ``positive`` given (or a binary problem), returns the binary F1
+    for that class; otherwise the macro average over all observed classes.
+    The CleanML protocol uses the minority class as the positive class on
+    imbalanced datasets.
+    """
+    y_true, y_pred = _check(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    if positive is not None:
+        return precision_recall_f1(y_true, y_pred, positive=int(positive))[2]
+    if len(classes) <= 2:
+        pos = int(classes.max(initial=1))
+        return precision_recall_f1(y_true, y_pred, positive=pos)[2]
+    scores = [
+        precision_recall_f1(y_true, y_pred, positive=int(cls))[2]
+        for cls in classes
+    ]
+    return float(np.mean(scores))
+
+
+def log_loss(y_true: np.ndarray, proba: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the true class."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    proba = np.clip(np.asarray(proba, dtype=np.float64), eps, 1.0)
+    picked = proba[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(picked)))
+
+
+def _check(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    return y_true, y_pred

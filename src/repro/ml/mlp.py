@@ -1,0 +1,130 @@
+"""Multi-layer perceptron — the paper's robust-ML baseline (§VII-B).
+
+Three layers (input → hidden → output) with ReLU activations and a
+softmax head, trained with mini-batch SGD-with-momentum or Adam for 100
+epochs, matching the paper's footnote 4.  The hyper-parameters the paper
+tunes with optuna (hidden size, learning rate, momentum, optimizer) are
+exposed so our random search can tune the same dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs, one_hot, softmax
+
+
+class MLPClassifier(Classifier):
+    """One-hidden-layer perceptron with ReLU and softmax output.
+
+    Parameters
+    ----------
+    hidden_size:
+        Width of the hidden layer.
+    learning_rate / momentum:
+        Optimization schedule (momentum only used by the SGD optimizer).
+    optimizer:
+        ``"sgd"`` (with momentum) or ``"adam"``.
+    epochs / batch_size:
+        Training length; the paper trains for 100 epochs.
+    l2:
+        Weight decay.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        learning_rate: float = 0.01,
+        momentum: float = 0.9,
+        optimizer: str = "adam",
+        epochs: int = 100,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        random_state: int | None = None,
+    ) -> None:
+        if optimizer not in ("sgd", "adam"):
+            raise ValueError("optimizer must be 'sgd' or 'adam'")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.optimizer = optimizer
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y, n_classes = check_fit_inputs(X, y)
+        self.n_classes_ = n_classes
+        rng = np.random.default_rng(self.random_state)
+        n_samples, n_features = X.shape
+        targets = one_hot(y, n_classes)
+
+        hidden = max(1, int(self.hidden_size))
+        scale1 = np.sqrt(2.0 / max(n_features, 1))
+        scale2 = np.sqrt(2.0 / hidden)
+        params = {
+            "W1": rng.normal(0.0, scale1, size=(n_features, hidden)),
+            "b1": np.zeros(hidden),
+            "W2": rng.normal(0.0, scale2, size=(hidden, n_classes)),
+            "b2": np.zeros(n_classes),
+        }
+        state = {name: _OptState(value.shape) for name, value in params.items()}
+
+        batch = min(max(1, int(self.batch_size)), n_samples)
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n_samples)
+            for start in range(0, n_samples, batch):
+                rows = order[start : start + batch]
+                step += 1
+                grads = self._gradients(X[rows], targets[rows], params)
+                for name, gradient in grads.items():
+                    gradient = gradient + self.l2 * params[name]
+                    params[name] = self._update(
+                        params[name], gradient, state[name], step
+                    )
+
+        self._params = params
+        return self
+
+    def _gradients(self, X, targets, params) -> dict[str, np.ndarray]:
+        pre_hidden = X @ params["W1"] + params["b1"]
+        hidden = np.maximum(pre_hidden, 0.0)
+        proba = softmax(hidden @ params["W2"] + params["b2"])
+        n = len(X)
+        delta_out = (proba - targets) / n
+        delta_hidden = (delta_out @ params["W2"].T) * (pre_hidden > 0.0)
+        return {
+            "W1": X.T @ delta_hidden,
+            "b1": delta_hidden.sum(axis=0),
+            "W2": hidden.T @ delta_out,
+            "b2": delta_out.sum(axis=0),
+        }
+
+    def _update(self, value, gradient, opt: "_OptState", step: int):
+        if self.optimizer == "sgd":
+            opt.velocity = self.momentum * opt.velocity - self.learning_rate * gradient
+            return value + opt.velocity
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        opt.m = beta1 * opt.m + (1.0 - beta1) * gradient
+        opt.v = beta2 * opt.v + (1.0 - beta2) * gradient**2
+        m_hat = opt.m / (1.0 - beta1**step)
+        v_hat = opt.v / (1.0 - beta2**step)
+        return value - self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        hidden = np.maximum(X @ self._params["W1"] + self._params["b1"], 0.0)
+        return softmax(hidden @ self._params["W2"] + self._params["b2"])
+
+
+class _OptState:
+    """Per-parameter optimizer scratch space (momentum and Adam moments)."""
+
+    __slots__ = ("velocity", "m", "v")
+
+    def __init__(self, shape) -> None:
+        self.velocity = np.zeros(shape)
+        self.m = np.zeros(shape)
+        self.v = np.zeros(shape)

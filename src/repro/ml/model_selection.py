@@ -1,0 +1,134 @@
+"""Cross-validation and random hyper-parameter search.
+
+The CleanML protocol (§IV-A step 3) performs "hyper-parameter tunings
+using standard random search and 5-fold cross validation".  The search
+budget is configurable so laptop-scale study runs stay tractable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..table.split import kfold_indices
+from .base import Classifier
+from .metrics import accuracy, f1_score
+
+
+def score_predictions(
+    y_true: np.ndarray, y_pred: np.ndarray, metric: str, positive: int | None = None
+) -> float:
+    """Dispatch to the metric the study uses ('accuracy' or 'f1')."""
+    if metric == "accuracy":
+        return accuracy(y_true, y_pred)
+    if metric == "f1":
+        return f1_score(y_true, y_pred, positive=positive)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def cross_val_score(
+    model: Classifier,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    metric: str = "accuracy",
+    positive: int | None = None,
+    seed: int | None = None,
+) -> float:
+    """Mean validation score over k folds (model refitted per fold).
+
+    Folds that end up with a single class in training are still fitted —
+    the models tolerate one-class training and predict that class.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    n_folds = min(n_folds, len(y))
+    if n_folds < 2:
+        model.fit(X, y)
+        return score_predictions(y, model.predict(X), metric, positive)
+    rng = np.random.default_rng(seed)
+    scores = []
+    for train_idx, val_idx in kfold_indices(len(y), n_folds, rng):
+        fold_model = model.clone()
+        fold_model.fit(X[train_idx], y[train_idx])
+        predictions = fold_model.predict(X[val_idx])
+        scores.append(score_predictions(y[val_idx], predictions, metric, positive))
+    return float(np.mean(scores))
+
+
+def sample_params(space: dict, rng: np.random.Generator) -> dict:
+    """Draw one configuration from a parameter space.
+
+    Space values may be lists (uniform choice), ``("loguniform", lo, hi)``
+    tuples, or ``("uniform", lo, hi)`` tuples.
+    """
+    params = {}
+    for name, spec in space.items():
+        if isinstance(spec, list):
+            params[name] = spec[int(rng.integers(0, len(spec)))]
+        elif isinstance(spec, tuple) and spec[0] == "loguniform":
+            _, lo, hi = spec
+            params[name] = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        elif isinstance(spec, tuple) and spec[0] == "uniform":
+            _, lo, hi = spec
+            params[name] = float(rng.uniform(lo, hi))
+        else:
+            raise ValueError(f"bad search-space spec for {name!r}: {spec!r}")
+    return params
+
+
+class RandomSearch:
+    """Random hyper-parameter search with k-fold validation.
+
+    ``n_iter=0`` means "use the model's default parameters" — the cheap
+    mode benchmarks use.  The default configuration is always evaluated,
+    so the search can only improve on it.
+    """
+
+    def __init__(
+        self,
+        model: Classifier,
+        space: dict | None,
+        n_iter: int = 5,
+        n_folds: int = 5,
+        metric: str = "accuracy",
+        positive: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.model = model
+        self.space = space or {}
+        self.n_iter = n_iter
+        self.n_folds = n_folds
+        self.metric = metric
+        self.positive = positive
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomSearch":
+        """Search, then refit the best configuration on all of (X, y)."""
+        rng = np.random.default_rng(self.seed)
+        candidates = [dict()]
+        if self.space and self.n_iter > 0:
+            candidates += [sample_params(self.space, rng) for _ in range(self.n_iter)]
+
+        self.best_score_ = -np.inf
+        self.best_params_: dict = {}
+        for params in candidates:
+            candidate = self.model.clone(**params)
+            score = cross_val_score(
+                candidate,
+                X,
+                y,
+                n_folds=self.n_folds,
+                metric=self.metric,
+                positive=self.positive,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            if score > self.best_score_:
+                self.best_score_ = score
+                self.best_params_ = params
+
+        self.best_model_ = self.model.clone(**self.best_params_)
+        self.best_model_.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.best_model_.predict(X)

@@ -1,0 +1,102 @@
+"""The seven CleanML models and their hyper-parameter search spaces.
+
+Paper §III-D: Logistic Regression, KNN, Decision Tree, Random Forest,
+AdaBoost, Naive Bayes and XGBoost.  ``make_model`` builds a fresh default
+instance; ``search_space`` returns the random-search distribution for the
+§IV-A step-3 tuning.
+"""
+
+from __future__ import annotations
+
+from .base import Classifier
+from .boosting import AdaBoostClassifier
+from .forest import RandomForestClassifier
+from .gbt import XGBoostClassifier
+from .knn import KNeighborsClassifier
+from .linear import LogisticRegression
+from .naive_bayes import GaussianNB
+from .tree import DecisionTreeClassifier
+
+#: canonical model names in the paper's order
+MODEL_NAMES = (
+    "logistic_regression",
+    "knn",
+    "decision_tree",
+    "random_forest",
+    "adaboost",
+    "naive_bayes",
+    "xgboost",
+)
+
+_FACTORIES = {
+    "logistic_regression": lambda seed: LogisticRegression(),
+    "knn": lambda seed: KNeighborsClassifier(),
+    "decision_tree": lambda seed: DecisionTreeClassifier(random_state=seed),
+    "random_forest": lambda seed: RandomForestClassifier(
+        n_estimators=30, random_state=seed
+    ),
+    "adaboost": lambda seed: AdaBoostClassifier(n_estimators=30, random_state=seed),
+    "naive_bayes": lambda seed: GaussianNB(),
+    "xgboost": lambda seed: XGBoostClassifier(n_estimators=30, random_state=seed),
+}
+
+_SEARCH_SPACES: dict[str, dict] = {
+    "logistic_regression": {
+        "l2": ("loguniform", 1e-5, 1.0),
+        "learning_rate": ("loguniform", 0.05, 1.0),
+    },
+    "knn": {
+        "n_neighbors": [3, 5, 7, 11, 15],
+        "weights": ["uniform", "distance"],
+    },
+    "decision_tree": {
+        "max_depth": [3, 5, 8, 12, None],
+        "min_samples_leaf": [1, 2, 5],
+    },
+    "random_forest": {
+        "n_estimators": [20, 30, 50],
+        "max_depth": [5, 8, 12, None],
+    },
+    "adaboost": {
+        "n_estimators": [20, 30, 50],
+        "learning_rate": ("loguniform", 0.1, 2.0),
+        "max_depth": [1, 2],
+    },
+    "naive_bayes": {
+        "var_smoothing": ("loguniform", 1e-10, 1e-6),
+    },
+    "xgboost": {
+        "n_estimators": [20, 30, 50],
+        "learning_rate": ("loguniform", 0.05, 0.5),
+        "max_depth": [2, 3, 4],
+    },
+}
+
+_DISPLAY_NAMES = {
+    "logistic_regression": "Logistic Regression",
+    "knn": "KNN",
+    "decision_tree": "Decision Tree",
+    "random_forest": "Random Forest",
+    "adaboost": "AdaBoost",
+    "naive_bayes": "Gaussian Naive Bayes",
+    "xgboost": "XGBoost",
+}
+
+
+def make_model(name: str, seed: int | None = None) -> Classifier:
+    """Fresh default instance of the named model."""
+    if name not in _FACTORIES:
+        raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    return _FACTORIES[name](seed)
+
+
+def search_space(name: str) -> dict:
+    """Random-search distribution for the named model."""
+    if name not in _SEARCH_SPACES:
+        raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    return dict(_SEARCH_SPACES[name])
+
+
+def display_name(name: str) -> str:
+    """Human-readable name (used in paper-style result tables)."""
+    return _DISPLAY_NAMES.get(name, name)

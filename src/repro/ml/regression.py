@@ -1,0 +1,102 @@
+"""Regression models and metrics — the §VIII "other ML tasks" extension.
+
+The paper studies classification only and names regression as future
+work.  This module supplies the minimal regression substrate the
+extension study needs: a closed-form ridge regressor, a KNN regressor,
+and the usual error metrics.  Both models follow the same conventions
+as the classifiers (fit on dense ``float64`` matrices, parameter
+introspection via constructor attributes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RidgeRegression:
+    """L2-regularized linear regression, solved in closed form.
+
+    Parameters
+    ----------
+    alpha:
+        Regularization strength on the weights (never the intercept).
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or y.ndim != 1 or len(X) != len(y):
+            raise ValueError("X must be (n, d) and y must be (n,)")
+        design = np.hstack([X, np.ones((len(X), 1))])
+        penalty = self.alpha * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0  # do not shrink the intercept
+        gram = design.T @ design + penalty
+        self.coef_ = np.linalg.solve(gram, design.T @ y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        design = np.hstack([X, np.ones((len(X), 1))])
+        return design @ self.coef_
+
+
+class KNNRegressor:
+    """k-nearest-neighbors regression (mean of the neighbors' targets)."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNRegressor":
+        self._X = np.asarray(X, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.float64)
+        if len(self._X) != len(self._y):
+            raise ValueError("X and y length mismatch")
+        self._sq_norms = np.sum(self._X**2, axis=1)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted targets for ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        k = min(self.n_neighbors, len(self._X))
+        cross = X @ self._X.T
+        distances = (
+            np.sum(X**2, axis=1)[:, None] + self._sq_norms[None, :] - 2.0 * cross
+        )
+        neighbors = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        return self._y[neighbors].mean(axis=1)
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 = perfect, 0 = mean baseline)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    residual = np.sum((y_true - y_pred) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total <= 1e-12:
+        return 0.0
+    return float(1.0 - residual / total)
+
+
+def _check(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be 1-D and equal length")
+    return y_true, y_pred

@@ -1,0 +1,230 @@
+"""CART decision tree with weighted Gini impurity.
+
+The split search is vectorized: for each candidate feature the rows are
+sorted once and every threshold is scored in a single cumulative-sum pass
+over the weighted one-hot label matrix.  Sample weights make the same
+builder serve AdaBoost; a ``max_features`` knob makes it serve the random
+forest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_fit_inputs, one_hot
+
+_EPS = 1e-12
+
+
+class _Node:
+    """Internal tree node; leaves have ``feature is None``."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "proba")
+
+    def __init__(self, proba: np.ndarray) -> None:
+        self.feature: int | None = None
+        self.threshold = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.proba = proba
+
+
+class DecisionTreeClassifier(Classifier):
+    """Gini-criterion CART.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0); ``None`` grows until pure.
+    min_samples_split / min_samples_leaf:
+        Pre-pruning thresholds in *row counts* (not weight).
+    max_features:
+        Number of features considered per split: ``None`` (all),
+        ``"sqrt"``, or an integer.  Random subsets are drawn per node
+        with ``random_state``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # -- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+        n_classes: int | None = None,
+    ) -> "DecisionTreeClassifier":
+        """Train the tree.
+
+        ``n_classes`` may widen the class space beyond ``max(y) + 1`` —
+        ensemble methods (random forest bootstraps, AdaBoost rounds) use
+        it so every tree emits probability vectors of the same width even
+        when a resample misses a class.
+        """
+        X, y, observed = check_fit_inputs(X, y)
+        n_classes = observed if n_classes is None else max(int(n_classes), observed)
+        self.n_classes_ = n_classes
+        if sample_weight is None:
+            sample_weight = np.ones(len(y), dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape != y.shape:
+                raise ValueError("sample_weight shape must match y")
+            if np.any(sample_weight < 0):
+                raise ValueError("sample weights must be non-negative")
+        self._rng = np.random.default_rng(self.random_state)
+        weighted_labels = sample_weight[:, None] * one_hot(y, n_classes)
+        self._root = self._build(X, weighted_labels, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, wy: np.ndarray, depth: int) -> _Node:
+        counts = wy.sum(axis=0)
+        total = counts.sum()
+        proba = counts / total if total > 0 else np.full(len(counts), 1.0 / len(counts))
+        node = _Node(proba)
+
+        n_samples = len(X)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or n_samples < self.min_samples_split
+            or n_samples < 2 * self.min_samples_leaf
+            or _gini(counts) <= _EPS
+        ):
+            return node
+
+        split = self._best_split(X, wy)
+        if split is None:
+            return node
+
+        feature, threshold = split
+        left_mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[left_mask], wy[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], wy[~left_mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, wy: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = X.shape
+        candidates = self._candidate_features(n_features)
+
+        counts = wy.sum(axis=0)
+        total_weight = counts.sum()
+        parent_impurity = _gini(counts)
+
+        best_gain = _EPS
+        best: tuple[int, float] | None = None
+        for feature in candidates:
+            order = np.argsort(X[:, feature], kind="stable")
+            sorted_x = X[order, feature]
+            cum_wy = np.cumsum(wy[order], axis=0)
+
+            # split between positions i-1 and i requires a value change
+            boundary = np.nonzero(sorted_x[1:] > sorted_x[:-1] + _EPS)[0] + 1
+            if len(boundary) == 0:
+                continue
+            leaf = self.min_samples_leaf
+            boundary = boundary[(boundary >= leaf) & (boundary <= n_samples - leaf)]
+            if len(boundary) == 0:
+                continue
+
+            left_counts = cum_wy[boundary - 1]
+            right_counts = counts[None, :] - left_counts
+            left_weight = left_counts.sum(axis=1)
+            right_weight = right_counts.sum(axis=1)
+            left_gini = _gini_rows(left_counts, left_weight)
+            right_gini = _gini_rows(right_counts, right_weight)
+            weighted = (left_weight * left_gini + right_weight * right_gini) / max(
+                total_weight, _EPS
+            )
+            gains = parent_impurity - weighted
+
+            pick = int(np.argmax(gains))
+            if gains[pick] > best_gain:
+                best_gain = float(gains[pick])
+                position = boundary[pick]
+                threshold = 0.5 * (sorted_x[position - 1] + sorted_x[position])
+                best = (feature, float(threshold))
+        return best
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(n_features)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(n_features)))
+        else:
+            k = max(1, min(int(self.max_features), n_features))
+        if k >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=k, replace=False)
+
+    # -- prediction -----------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty((len(X), self.n_classes_))
+        self._route(self._root, X, np.arange(len(X)), out)
+        return out
+
+    def _route(
+        self, node: _Node, X: np.ndarray, indices: np.ndarray, out: np.ndarray
+    ) -> None:
+        if len(indices) == 0:
+            return
+        if node.feature is None:
+            out[indices] = node.proba
+            return
+        go_left = X[indices, node.feature] <= node.threshold
+        self._route(node.left, X, indices[go_left], out)
+        self._route(node.right, X, indices[~go_left], out)
+
+    # -- introspection ----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (leaf-only tree = 0)."""
+        return _depth(self._root)
+
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return _leaves(self._root)
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+def _gini_rows(counts: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    safe = np.maximum(weights, _EPS)[:, None]
+    proportions = counts / safe
+    return 1.0 - np.sum(proportions**2, axis=1)
+
+
+def _depth(node: _Node) -> int:
+    if node.feature is None:
+        return 0
+    return 1 + max(_depth(node.left), _depth(node.right))
+
+
+def _leaves(node: _Node) -> int:
+    if node.feature is None:
+        return 1
+    return _leaves(node.left) + _leaves(node.right)

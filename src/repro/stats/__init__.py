@@ -1,0 +1,26 @@
+"""Statistics substrate: paired t-tests, FDR procedures, flag logic."""
+
+from .fdr import (
+    PROCEDURES,
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    reject,
+)
+from .flags import Flag, decide_flag, flag_distribution, flags_with_fdr
+from .ttest import PairedTTestResult, paired_t_test, t_sf
+
+__all__ = [
+    "Flag",
+    "PROCEDURES",
+    "PairedTTestResult",
+    "benjamini_hochberg",
+    "benjamini_yekutieli",
+    "bonferroni",
+    "decide_flag",
+    "flag_distribution",
+    "flags_with_fdr",
+    "paired_t_test",
+    "reject",
+    "t_sf",
+]

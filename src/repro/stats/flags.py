@@ -1,0 +1,92 @@
+"""Three-valued flag logic (paper §IV-B) with FDR-adjusted decisions.
+
+A flag summarizes cleaning impact: **P** (positive), **N** (negative) or
+**S** (insignificant).  Per the paper:
+
+* p0 >= alpha                -> S
+* p0 < alpha and p1 < alpha  -> P  (two-tailed significant, mean > 0)
+* p0 < alpha and p2 < alpha  -> N  (two-tailed significant, mean < 0)
+
+When the BY procedure runs first, "< alpha" is replaced by "rejected by
+the procedure", which :func:`flags_with_fdr` handles for a whole batch of
+experiments at once (all 3m p-values of a relation enter one procedure,
+matching the paper counting 3x the key assignments as hypotheses).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .fdr import reject
+from .ttest import PairedTTestResult
+
+
+class Flag(Enum):
+    """Cleaning impact on the downstream model."""
+
+    POSITIVE = "P"
+    NEGATIVE = "N"
+    INSIGNIFICANT = "S"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def decide_flag(
+    result: PairedTTestResult, alpha: float = 0.05
+) -> Flag:
+    """Uncorrected flag decision straight from the three p-values."""
+    return _decide(
+        result.p_two_sided < alpha,
+        result.p_upper < alpha,
+        result.p_lower < alpha,
+    )
+
+
+def flags_with_fdr(
+    results: list[PairedTTestResult],
+    alpha: float = 0.05,
+    procedure: str = "by",
+) -> list[Flag]:
+    """Flags for a whole relation with one FDR procedure over all tests.
+
+    All three p-values of every experiment enter a single correction (3m
+    hypotheses for m experiments), then each experiment's flag is decided
+    from its three adjusted significance verdicts.
+    """
+    if not results:
+        return []
+    pvalues = np.array(
+        [
+            p
+            for result in results
+            for p in (result.p_two_sided, result.p_upper, result.p_lower)
+        ]
+    )
+    rejected = reject(pvalues, alpha=alpha, procedure=procedure)
+    flags = []
+    for i in range(len(results)):
+        two, upper, lower = rejected[3 * i : 3 * i + 3]
+        flags.append(_decide(bool(two), bool(upper), bool(lower)))
+    return flags
+
+
+def _decide(two_sided: bool, upper: bool, lower: bool) -> Flag:
+    if not two_sided:
+        return Flag.INSIGNIFICANT
+    if upper:
+        return Flag.POSITIVE
+    if lower:
+        return Flag.NEGATIVE
+    return Flag.INSIGNIFICANT
+
+
+def flag_distribution(flags: list[Flag]) -> dict[str, int]:
+    """Counts per flag value, in P/S/N order (paper table order)."""
+    return {
+        "P": sum(flag is Flag.POSITIVE for flag in flags),
+        "S": sum(flag is Flag.INSIGNIFICANT for flag in flags),
+        "N": sum(flag is Flag.NEGATIVE for flag in flags),
+    }

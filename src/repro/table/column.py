@@ -1,0 +1,165 @@
+"""Column storage for the tabular substrate.
+
+A :class:`Column` wraps a numpy array plus its :class:`ColumnType` and
+provides missing-aware statistics (mean / median / mode / std / quantiles)
+that the cleaning algorithms rely on.  All statistics ignore missing
+entries, matching how CleanML computes repair statistics on dirty data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .schema import ColumnType
+
+
+class Column:
+    """A single typed column with missing-value support.
+
+    NUMERIC data is a ``float64`` array (``NaN`` = missing); CATEGORICAL
+    data is an object array of ``str`` (``None`` = missing).  Construction
+    normalizes arbitrary python sequences into that representation.
+    """
+
+    def __init__(self, values, ctype: ColumnType) -> None:
+        self.ctype = ctype
+        if ctype is ColumnType.NUMERIC:
+            self.values = _as_numeric(values)
+        else:
+            self.values = _as_categorical(values)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        if self.ctype is not other.ctype or len(self) != len(other):
+            return False
+        mine, theirs = self.missing_mask(), other.missing_mask()
+        if not np.array_equal(mine, theirs):
+            return False
+        present = ~mine
+        return bool(np.array_equal(self.values[present], other.values[present]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Column({self.ctype.value}, n={len(self)})"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype is ColumnType.NUMERIC
+
+    def copy(self) -> "Column":
+        clone = Column.__new__(Column)
+        clone.ctype = self.ctype
+        clone.values = self.values.copy()
+        return clone
+
+    def take(self, indices) -> "Column":
+        """New column containing the rows at ``indices`` (in order)."""
+        clone = Column.__new__(Column)
+        clone.ctype = self.ctype
+        clone.values = self.values[np.asarray(indices)]
+        return clone
+
+    # -- missing values ----------------------------------------------------
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean array, True where the entry is missing."""
+        if self.is_numeric:
+            return np.isnan(self.values)
+        return np.array([v is None for v in self.values], dtype=bool)
+
+    def n_missing(self) -> int:
+        return int(self.missing_mask().sum())
+
+    def present_values(self) -> np.ndarray:
+        """Values with missing entries removed."""
+        return self.values[~self.missing_mask()]
+
+    # -- statistics (all missing-aware) -------------------------------------
+
+    def mean(self) -> float:
+        self._require_numeric("mean")
+        present = self.present_values()
+        return float(np.mean(present)) if len(present) else float("nan")
+
+    def median(self) -> float:
+        self._require_numeric("median")
+        present = self.present_values()
+        return float(np.median(present)) if len(present) else float("nan")
+
+    def std(self) -> float:
+        self._require_numeric("std")
+        present = self.present_values()
+        return float(np.std(present)) if len(present) else float("nan")
+
+    def quantile(self, q: float) -> float:
+        self._require_numeric("quantile")
+        present = self.present_values()
+        return float(np.quantile(present, q)) if len(present) else float("nan")
+
+    def mode(self):
+        """Most frequent present value (ties broken by first occurrence).
+
+        Works for both numeric and categorical columns; returns ``None``
+        (categorical) or ``NaN`` (numeric) when every entry is missing.
+        """
+        present = self.present_values()
+        if len(present) == 0:
+            return float("nan") if self.is_numeric else None
+        counts = Counter(present.tolist())
+        best_count = max(counts.values())
+        for value in present.tolist():
+            if counts[value] == best_count:
+                return value
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def value_counts(self) -> dict:
+        """Mapping of present value -> count, most frequent first."""
+        counts = Counter(self.present_values().tolist())
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    def unique(self) -> list:
+        """Distinct present values in first-occurrence order."""
+        seen: dict = {}
+        for value in self.present_values().tolist():
+            seen.setdefault(value, None)
+        return list(seen)
+
+    def _require_numeric(self, op: str) -> None:
+        if not self.is_numeric:
+            raise TypeError(f"{op}() requires a numeric column")
+
+
+def _as_numeric(values) -> np.ndarray:
+    if isinstance(values, np.ndarray) and values.dtype == np.float64:
+        return values.astype(np.float64, copy=True)
+    out = np.empty(len(values), dtype=np.float64)
+    for i, value in enumerate(values):
+        if value is None or (isinstance(value, str) and value.strip() == ""):
+            out[i] = np.nan
+        else:
+            out[i] = float(value)
+    return out
+
+
+def _as_categorical(values) -> np.ndarray:
+    out = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        if value is None:
+            out[i] = None
+        elif isinstance(value, float) and np.isnan(value):
+            out[i] = None
+        elif isinstance(value, str) and value == "":
+            out[i] = None
+        else:
+            out[i] = str(value)
+    return out

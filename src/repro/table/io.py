@@ -1,0 +1,121 @@
+"""CSV persistence for :class:`~repro.table.Table`.
+
+Datasets and cleaned variants can be written to / read from disk so that
+study runs are inspectable and the library interoperates with external
+tools.  Types are carried in the header as ``name:type`` suffixes so a
+round trip preserves the schema exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .column import Column
+from .schema import ColumnSpec, ColumnType, Schema
+from .table import Table
+
+_MISSING_TOKEN = ""
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` with a typed header.
+
+    Header cells look like ``age:numeric`` or ``city:categorical``; the
+    label column gets a ``!label`` suffix and key columns ``!key`` so that
+    :func:`read_csv` can reconstruct the full schema.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = []
+    for spec in table.schema.columns:
+        cell = f"{spec.name}:{spec.ctype.value}"
+        if spec.name == table.schema.label:
+            cell += "!label"
+        if spec.name in table.schema.keys:
+            cell += "!key"
+        if spec.name in table.schema.hidden:
+            cell += "!hidden"
+        header.append(cell)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for i in range(table.n_rows):
+            row = []
+            for spec in table.schema.columns:
+                value = table.column(spec.name).values[i]
+                row.append(_format_cell(value))
+            writer.writerow(row)
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_csv`."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        raw_rows = list(reader)
+
+    specs: list[ColumnSpec] = []
+    label: str | None = None
+    keys: list[str] = []
+    hidden: list[str] = []
+    for cell in header:
+        name, ctype, is_label, is_key, is_hidden = _parse_header_cell(cell)
+        specs.append(ColumnSpec(name, ctype))
+        if is_label:
+            label = name
+        if is_key:
+            keys.append(name)
+        if is_hidden:
+            hidden.append(name)
+    schema = Schema(
+        columns=tuple(specs), label=label, keys=tuple(keys), hidden=tuple(hidden)
+    )
+
+    data: dict[str, list] = {spec.name: [] for spec in specs}
+    for raw in raw_rows:
+        if len(raw) != len(specs):
+            raise ValueError(
+                f"row has {len(raw)} cells, expected {len(specs)}: {raw!r}"
+            )
+        for spec, cell in zip(specs, raw):
+            data[spec.name].append(_parse_cell(cell, spec.ctype))
+    return Table.from_dict(schema, data)
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return _MISSING_TOKEN
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return _MISSING_TOKEN
+        return repr(float(value))
+    return str(value)
+
+
+def _parse_cell(cell: str, ctype: ColumnType):
+    if cell == _MISSING_TOKEN:
+        return None
+    if ctype is ColumnType.NUMERIC:
+        return float(cell)
+    return cell
+
+
+def _parse_header_cell(cell: str) -> tuple[str, ColumnType, bool, bool, bool]:
+    is_label = "!label" in cell
+    is_key = "!key" in cell
+    is_hidden = "!hidden" in cell
+    base = cell.replace("!label", "").replace("!key", "").replace("!hidden", "")
+    if ":" not in base:
+        raise ValueError(f"header cell {cell!r} lacks a ':type' suffix")
+    name, _, type_name = base.rpartition(":")
+    try:
+        ctype = ColumnType(type_name)
+    except ValueError:
+        raise ValueError(f"unknown column type {type_name!r} in {cell!r}") from None
+    return name, ctype, is_label, is_key, is_hidden

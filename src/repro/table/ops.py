@@ -1,0 +1,121 @@
+"""Relational helpers over :class:`~repro.table.Table`.
+
+Small, composable operations the cleaning algorithms and dataset
+generators share: filtering, group counting, sorting, and per-column
+summaries.  Anything needing only one column lives on :class:`Column`;
+anything spanning rows or multiple columns lives here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from .schema import ColumnType
+from .table import Table
+
+
+def filter_rows(table: Table, predicate) -> Table:
+    """Rows for which ``predicate(row_dict)`` is truthy."""
+    keep = np.array(
+        [bool(predicate(table.row(i))) for i in range(table.n_rows)], dtype=bool
+    )
+    return table.mask(keep)
+
+
+def sort_by(table: Table, name: str, descending: bool = False) -> Table:
+    """Stable sort by one column; missing values sort last."""
+    column = table.column(name)
+    missing = column.missing_mask()
+    if column.is_numeric:
+        sort_keys = column.values.copy()
+        sort_keys[missing] = np.inf if not descending else -np.inf
+        order = np.argsort(sort_keys, kind="stable")
+    else:
+        decorated = [
+            (missing[i], "" if missing[i] else str(column.values[i]), i)
+            for i in range(len(column))
+        ]
+        decorated.sort(key=lambda t: (t[0], t[1]), reverse=descending)
+        order = np.array([t[2] for t in decorated], dtype=int)
+    if descending and column.is_numeric:
+        order = order[::-1]
+        # keep missing rows last after the reversal
+        order = np.concatenate([order[~missing[order]], order[missing[order]]])
+    return table.take(order)
+
+
+def group_sizes(table: Table, names: list[str]) -> dict[tuple, int]:
+    """Count rows per distinct combination of the given columns."""
+    counts: Counter = Counter()
+    for i in range(table.n_rows):
+        key = tuple(_cell_key(table, name, i) for name in names)
+        counts[key] += 1
+    return dict(counts)
+
+
+def group_indices(table: Table, names: list[str]) -> dict[tuple, list[int]]:
+    """Row indices per distinct combination of the given columns."""
+    groups: dict[tuple, list[int]] = defaultdict(list)
+    for i in range(table.n_rows):
+        key = tuple(_cell_key(table, name, i) for name in names)
+        groups[key].append(i)
+    return dict(groups)
+
+
+def class_distribution(table: Table) -> dict:
+    """Label value -> proportion, for labeled tables."""
+    counts = table.column(table.schema.label).value_counts()
+    total = sum(counts.values())
+    return {value: count / total for value, count in counts.items()}
+
+
+def majority_class(table: Table):
+    """The most frequent label value."""
+    return table.column(table.schema.label).mode()
+
+
+def minority_class(table: Table):
+    """The least frequent label value (ties broken alphabetically)."""
+    counts = table.column(table.schema.label).value_counts()
+    return min(counts.items(), key=lambda kv: (kv[1], str(kv[0])))[0]
+
+
+def is_imbalanced(table: Table, threshold: float = 0.65) -> bool:
+    """True when the majority class exceeds ``threshold`` of the rows.
+
+    The paper switches from accuracy to F1 for class-imbalanced datasets
+    (e.g. Credit); this predicate drives that switch.
+    """
+    distribution = class_distribution(table)
+    return max(distribution.values()) > threshold
+
+
+def summarize(table: Table) -> dict[str, dict]:
+    """Per-column summary used by dataset descriptions and examples."""
+    out: dict[str, dict] = {}
+    for spec in table.schema.columns:
+        column = table.column(spec.name)
+        info: dict = {
+            "type": spec.ctype.value,
+            "missing": column.n_missing(),
+        }
+        if spec.ctype is ColumnType.NUMERIC and len(column.present_values()):
+            info.update(
+                mean=column.mean(),
+                std=column.std(),
+                min=float(np.min(column.present_values())),
+                max=float(np.max(column.present_values())),
+            )
+        elif spec.ctype is ColumnType.CATEGORICAL:
+            info["n_unique"] = len(column.unique())
+        out[spec.name] = info
+    return out
+
+
+def _cell_key(table: Table, name: str, index: int):
+    value = table.column(name).values[index]
+    if isinstance(value, float) and np.isnan(value):
+        return None
+    return value

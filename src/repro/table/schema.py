@@ -1,0 +1,182 @@
+"""Schema definitions for the tabular substrate.
+
+CleanML operates on relational datasets with mixed numeric / categorical
+columns, an optional label column, and optional key columns (used by the
+key-collision duplicate detector).  The :class:`Schema` captures that
+structure; :class:`repro.table.Table` carries the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ColumnType(Enum):
+    """Storage/semantic type of a table column.
+
+    NUMERIC columns are stored as ``float64`` arrays with ``NaN`` marking
+    missing entries.  CATEGORICAL columns are stored as object arrays of
+    ``str`` with ``None`` marking missing entries.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of a single column."""
+
+    name: str
+    ctype: ColumnType
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.ctype is ColumnType.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.ctype is ColumnType.CATEGORICAL
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered collection of column specs plus dataset roles.
+
+    Parameters
+    ----------
+    columns:
+        Ordered tuple of :class:`ColumnSpec` covering every column,
+        including the label column if present.
+    label:
+        Name of the classification label column, or ``None`` for unlabeled
+        tables (e.g. intermediate cleaning artifacts).
+    keys:
+        Names of the key columns that are supposed to uniquely identify a
+        real-world entity.  Used by key-collision duplicate detection.
+    hidden:
+        Bookkeeping columns (e.g. the row-id used to align dirty data
+        with ground truth) that are excluded from features, cleaning and
+        encoding but travel with the table.
+    """
+
+    columns: tuple[ColumnSpec, ...]
+    label: str | None = None
+    keys: tuple[str, ...] = field(default=())
+    hidden: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names in schema: {dupes}")
+        if self.label is not None and self.label not in names:
+            raise ValueError(f"label column {self.label!r} not in schema")
+        for key in self.keys:
+            if key not in names:
+                raise ValueError(f"key column {key!r} not in schema")
+        for name in self.hidden:
+            if name not in names:
+                raise ValueError(f"hidden column {name!r} not in schema")
+        if self.label is not None and self.label in self.hidden:
+            raise ValueError("the label column cannot be hidden")
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        """Column names in schema order."""
+        return [spec.name for spec in self.columns]
+
+    def spec(self, name: str) -> ColumnSpec:
+        """Return the :class:`ColumnSpec` for ``name``.
+
+        Raises ``KeyError`` if the column does not exist.
+        """
+        for spec in self.columns:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no column named {name!r}")
+
+    def __contains__(self, name: object) -> bool:
+        return any(spec.name == name for spec in self.columns)
+
+    def ctype(self, name: str) -> ColumnType:
+        return self.spec(name).ctype
+
+    @property
+    def feature_names(self) -> list[str]:
+        """All column names except the label and hidden columns."""
+        return [
+            n for n in self.names if n != self.label and n not in self.hidden
+        ]
+
+    @property
+    def numeric_features(self) -> list[str]:
+        return [
+            spec.name
+            for spec in self.columns
+            if spec.is_numeric
+            and spec.name != self.label
+            and spec.name not in self.hidden
+        ]
+
+    @property
+    def categorical_features(self) -> list[str]:
+        return [
+            spec.name
+            for spec in self.columns
+            if spec.is_categorical
+            and spec.name != self.label
+            and spec.name not in self.hidden
+        ]
+
+    # -- derivations -------------------------------------------------------
+
+    def drop(self, names: list[str] | tuple[str, ...]) -> "Schema":
+        """Schema without the given columns (label/keys pruned as needed)."""
+        dropped = set(names)
+        columns = tuple(s for s in self.columns if s.name not in dropped)
+        label = self.label if self.label not in dropped else None
+        keys = tuple(k for k in self.keys if k not in dropped)
+        hidden = tuple(h for h in self.hidden if h not in dropped)
+        return Schema(columns=columns, label=label, keys=keys, hidden=hidden)
+
+    def rename_label(self, label: str | None) -> "Schema":
+        """Schema with a different (or no) label column."""
+        return Schema(
+            columns=self.columns, label=label, keys=self.keys, hidden=self.hidden
+        )
+
+    def with_hidden(self, names: tuple[str, ...]) -> "Schema":
+        """Schema with the given columns marked as hidden bookkeeping."""
+        return Schema(
+            columns=self.columns, label=self.label, keys=self.keys, hidden=names
+        )
+
+
+def make_schema(
+    numeric: list[str] | tuple[str, ...] = (),
+    categorical: list[str] | tuple[str, ...] = (),
+    label: str | None = None,
+    label_type: ColumnType = ColumnType.CATEGORICAL,
+    keys: tuple[str, ...] = (),
+    hidden: tuple[str, ...] = (),
+) -> Schema:
+    """Convenience constructor used by the dataset generators.
+
+    ``numeric`` and ``categorical`` list the *feature* columns; the label is
+    appended as its own column with ``label_type`` unless it already appears
+    among the listed columns.
+    """
+    columns = [ColumnSpec(name, ColumnType.NUMERIC) for name in numeric]
+    columns += [ColumnSpec(name, ColumnType.CATEGORICAL) for name in categorical]
+    if label is not None and all(spec.name != label for spec in columns):
+        columns.append(ColumnSpec(label, label_type))
+    return Schema(
+        columns=tuple(columns), label=label, keys=tuple(keys), hidden=tuple(hidden)
+    )

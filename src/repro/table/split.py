@@ -1,0 +1,92 @@
+"""Train/test splitting and cross-validation folds.
+
+CleanML's randomness-control protocol (paper §IV-B) repeats every
+experiment over 20 random 70/30 train/test splits; hyper-parameter tuning
+uses 5-fold cross validation on the training split.  Both utilities live
+here so the split logic is identical everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+
+def split_indices(
+    n_rows: int, test_ratio: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random (train, test) index arrays with ``test_ratio`` in the test set.
+
+    Guarantees at least one row on each side for any ``0 < test_ratio < 1``
+    and ``n_rows >= 2``.
+    """
+    if not 0.0 < test_ratio < 1.0:
+        raise ValueError("test_ratio must be in (0, 1)")
+    if n_rows < 2:
+        raise ValueError("need at least two rows to split")
+    permutation = rng.permutation(n_rows)
+    n_test = int(round(n_rows * test_ratio))
+    n_test = min(max(n_test, 1), n_rows - 1)
+    return np.sort(permutation[n_test:]), np.sort(permutation[:n_test])
+
+
+def train_test_split(
+    table: Table, test_ratio: float = 0.3, seed: int | None = None
+) -> tuple[Table, Table]:
+    """Split ``table`` into (train, test) with a 70/30 default ratio."""
+    rng = np.random.default_rng(seed)
+    train_idx, test_idx = split_indices(table.n_rows, test_ratio, rng)
+    return table.take(train_idx), table.take(test_idx)
+
+
+def kfold_indices(
+    n_rows: int, n_folds: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """K-fold (train, validation) index pairs over a shuffled permutation."""
+    if n_folds < 2:
+        raise ValueError("need at least 2 folds")
+    if n_rows < n_folds:
+        raise ValueError("more folds than rows")
+    permutation = rng.permutation(n_rows)
+    folds = np.array_split(permutation, n_folds)
+    pairs = []
+    for i, fold in enumerate(folds):
+        val_idx = np.sort(fold)
+        train_idx = np.sort(
+            np.concatenate([f for j, f in enumerate(folds) if j != i])
+        )
+        pairs.append((train_idx, val_idx))
+    return pairs
+
+
+def stratified_split_indices(
+    labels: np.ndarray, test_ratio: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Class-stratified (train, test) indices.
+
+    Keeps each class's proportion roughly constant across the two sides,
+    used by dataset generators when a plain random split could starve a
+    minority class.
+    """
+    train_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    values = np.asarray(labels, dtype=object)
+    for cls in _ordered_unique(values):
+        cls_idx = np.nonzero(values == cls)[0]
+        permuted = cls_idx[rng.permutation(len(cls_idx))]
+        n_test = int(round(len(permuted) * test_ratio))
+        if len(permuted) >= 2:
+            n_test = min(max(n_test, 1), len(permuted) - 1)
+        test_parts.append(permuted[:n_test])
+        train_parts.append(permuted[n_test:])
+    train = np.sort(np.concatenate(train_parts)) if train_parts else np.array([], int)
+    test = np.sort(np.concatenate(test_parts)) if test_parts else np.array([], int)
+    return train, test
+
+
+def _ordered_unique(values: np.ndarray) -> list:
+    seen: dict = {}
+    for value in values.tolist():
+        seen.setdefault(value, None)
+    return list(seen)

@@ -1,0 +1,116 @@
+"""Tests for the HoloClean-style probabilistic repair engine."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    HoloCleanEngine,
+    HoloCleanMissingCleaning,
+    HoloCleanOutlierCleaning,
+)
+from repro.table import Table, make_schema
+
+
+@pytest.fixture
+def correlated():
+    """city and zip are perfectly correlated; x1 ~ 2 * x0."""
+    schema = make_schema(
+        numeric=["x0", "x1"], categorical=["city", "zip"], label="y"
+    )
+    n = 40
+    rng = np.random.default_rng(0)
+    x0 = rng.normal(10.0, 2.0, n)
+    cities = ["NY" if i % 2 else "SF" for i in range(n)]
+    zips = ["10001" if c == "NY" else "94103" for c in cities]
+    return Table.from_dict(
+        schema,
+        {
+            "x0": x0.tolist(),
+            "x1": (2.0 * x0 + rng.normal(0, 0.01, n)).tolist(),
+            "city": cities,
+            "zip": zips,
+            "y": ["p" if i % 2 else "n" for i in range(n)],
+        },
+    )
+
+
+class TestEngine:
+    def test_categorical_inference_uses_cooccurrence(self, correlated):
+        engine = HoloCleanEngine().fit(correlated)
+        # hide a zip; the city should drive the inference
+        broken = correlated.with_values(
+            "zip", [None] + list(correlated.column("zip").values[1:])
+        )
+        inferred = engine.infer_categorical(broken, "zip", 0)
+        expected = correlated.column("zip").values[0]
+        assert inferred == expected
+
+    def test_numeric_inference_uses_regression(self, correlated):
+        engine = HoloCleanEngine().fit(correlated)
+        value = engine.infer_numeric(correlated, "x1", 5)
+        truth = correlated.column("x1").values[5]
+        assert value == pytest.approx(truth, abs=1.0)
+
+    def test_numeric_fallback_to_mean_without_context(self):
+        schema = make_schema(numeric=["x"], label="y")
+        table = Table.from_dict(
+            schema, {"x": [1.0, 2.0, 3.0], "y": ["p", "n", "p"]}
+        )
+        engine = HoloCleanEngine().fit(table)
+        assert engine.infer_numeric(table, "x", 0) == pytest.approx(2.0)
+
+    def test_repair_cells_targets_only_masked(self, correlated):
+        engine = HoloCleanEngine().fit(correlated)
+        mask = np.zeros(correlated.n_rows, dtype=bool)
+        mask[3] = True
+        repaired = engine.repair_cells(correlated, {"x1": mask})
+        # untouched cells identical
+        assert repaired.column("x1").values[0] == correlated.column("x1").values[0]
+
+
+class TestHoloCleanMissing:
+    def test_fills_all_missing(self, correlated):
+        broken = correlated.with_values(
+            "zip", [None, None] + list(correlated.column("zip").values[2:])
+        )
+        cleaned = HoloCleanMissingCleaning().fit(correlated).transform(broken)
+        assert cleaned.n_missing_cells() == 0
+
+    def test_inference_beats_blind_mode_on_correlated_data(self, correlated):
+        # remove zips from the minority city; mode imputation would guess
+        # the majority zip, HoloClean should use the city signal
+        values = list(correlated.column("zip").values)
+        target_rows = [i for i, c in enumerate(correlated.column("city").values) if c == "SF"][:5]
+        broken_values = list(values)
+        for row in target_rows:
+            broken_values[row] = None
+        broken = correlated.with_values("zip", broken_values)
+        cleaned = HoloCleanMissingCleaning().fit(correlated).transform(broken)
+        correct = sum(
+            cleaned.column("zip").values[row] == values[row] for row in target_rows
+        )
+        assert correct == len(target_rows)
+
+
+class TestHoloCleanOutliers:
+    def test_outlier_repaired_towards_regression_line(self):
+        schema = make_schema(numeric=["a", "b"], label="y")
+        n = 30
+        rng = np.random.default_rng(1)
+        a = rng.normal(0.0, 1.0, n)
+        b = 3.0 * a + rng.normal(0, 0.01, n)
+        b[7] = 500.0  # wild outlier
+        table = Table.from_dict(
+            schema,
+            {
+                "a": a.tolist(),
+                "b": b.tolist(),
+                "y": ["p" if i % 2 else "n" for i in range(n)],
+            },
+        )
+        cleaned = HoloCleanOutlierCleaning("SD").fit(table).transform(table)
+        assert abs(cleaned.column("b").values[7] - 3.0 * a[7]) < 2.0
+
+    def test_detection_name_follows_detector(self):
+        assert HoloCleanOutlierCleaning("IQR").detection == "IQR"
+        assert HoloCleanOutlierCleaning("IQR").repair == "HoloClean"

@@ -1,0 +1,98 @@
+"""Tests for inconsistency cleaning (fingerprint clustering + merge)."""
+
+import pytest
+
+from repro.cleaning import (
+    InconsistencyCleaning,
+    RuleBasedInconsistencyCleaning,
+    cluster_values,
+    fingerprint,
+)
+from repro.table import Table, make_schema
+
+
+class TestFingerprint:
+    def test_case_and_punctuation_insensitive(self):
+        assert fingerprint("U.S. Bank") == fingerprint("us bank")
+
+    def test_token_order_insensitive(self):
+        assert fingerprint("Bank of America") == fingerprint("america of bank")
+
+    def test_duplicate_tokens_collapse(self):
+        assert fingerprint("New New York") == fingerprint("new york")
+
+    def test_abbreviation_expansion(self):
+        assert fingerprint("Main St") == fingerprint("Main Street")
+        assert fingerprint("MIT Univ") == fingerprint("mit university")
+
+    def test_distinct_values_stay_distinct(self):
+        assert fingerprint("Chicago") != fingerprint("Boston")
+
+
+class TestClusterValues:
+    def test_groups_alternate_spellings(self):
+        clusters = cluster_values(["US Bank", "U.S. Bank", "Chase"])
+        sizes = sorted(len(v) for v in clusters.values())
+        assert sizes == [1, 2]
+
+
+@pytest.fixture
+def companies():
+    schema = make_schema(numeric=["size"], categorical=["state"], label="y")
+    return Table.from_dict(
+        schema,
+        {
+            "state": ["CA", "C.A.", "CA", "NY", "N.Y.", "CA", "NY"],
+            "size": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            "y": ["p", "n", "p", "n", "p", "n", "p"],
+        },
+    )
+
+
+class TestInconsistencyCleaning:
+    def test_merges_to_most_frequent(self, companies):
+        cleaned = InconsistencyCleaning().fit_transform(companies)
+        states = list(cleaned.column("state").values)
+        assert states == ["CA", "CA", "CA", "NY", "NY", "CA", "NY"]
+
+    def test_detection_masks(self, companies):
+        method = InconsistencyCleaning().fit(companies)
+        mask = method.inconsistent_cells(companies)["state"]
+        assert mask.tolist() == [False, True, False, False, True, False, False]
+
+    def test_canonical_learned_on_train_applies_to_test(self, companies):
+        method = InconsistencyCleaning().fit(companies)
+        test = Table.from_dict(
+            companies.schema,
+            {"state": ["C.A.", "TX"], "size": [1.0, 2.0], "y": ["p", "n"]},
+        )
+        cleaned = method.transform(test)
+        assert list(cleaned.column("state").values) == ["CA", "TX"]
+
+    def test_consistent_table_unchanged(self):
+        schema = make_schema(categorical=["c"], label="y")
+        table = Table.from_dict(
+            schema, {"c": ["a", "b", "a"], "y": ["p", "n", "p"]}
+        )
+        cleaned = InconsistencyCleaning().fit_transform(table)
+        assert cleaned == table
+
+    def test_affected_rows_empty_when_consistent(self):
+        schema = make_schema(categorical=["c"], label="y")
+        table = Table.from_dict(
+            schema, {"c": ["a", "b"], "y": ["p", "n"]}
+        )
+        method = InconsistencyCleaning().fit(table)
+        assert not method.affected_rows(table).any()
+
+
+class TestRuleBasedCleaning:
+    def test_rules_apply(self, companies):
+        rules = {"state": {"C.A.": "CA", "N.Y.": "NY"}}
+        cleaned = RuleBasedInconsistencyCleaning(rules).fit_transform(companies)
+        assert set(cleaned.column("state").values) == {"CA", "NY"}
+
+    def test_rules_for_unknown_columns_ignored(self, companies):
+        rules = {"nonexistent": {"a": "b"}}
+        cleaned = RuleBasedInconsistencyCleaning(rules).fit_transform(companies)
+        assert cleaned == companies

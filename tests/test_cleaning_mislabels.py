@@ -1,0 +1,76 @@
+"""Tests for mislabel cleaning (confident learning)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import ConfidentLearningCleaning
+from repro.table import Table, make_schema
+
+
+def make_labeled_table(n=120, flip=0, seed=0):
+    """Separable two-class data with ``flip`` labels flipped per class."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(-2.0, 0.5, n // 2)
+    x1 = rng.normal(2.0, 0.5, n // 2)
+    values = np.concatenate([x0, x1])
+    labels = ["neg"] * (n // 2) + ["pos"] * (n // 2)
+    flipped = []
+    for cls_start in (0, n // 2):
+        for i in range(flip):
+            labels[cls_start + i] = "pos" if labels[cls_start + i] == "neg" else "neg"
+            flipped.append(cls_start + i)
+    schema = make_schema(numeric=["x"], label="y")
+    table = Table.from_dict(schema, {"x": values.tolist(), "y": labels})
+    return table, flipped
+
+
+class TestConfidentLearning:
+    def test_finds_planted_mislabels(self):
+        table, flipped = make_labeled_table(flip=4, seed=1)
+        method = ConfidentLearningCleaning(seed=0).fit(table)
+        issues = method.affected_rows(table)
+        found = set(np.nonzero(issues)[0].tolist())
+        # at least three quarters of the planted flips are caught
+        assert len(found & set(flipped)) >= 6
+
+    def test_repairs_flip_back(self):
+        table, flipped = make_labeled_table(flip=4, seed=2)
+        cleaned = ConfidentLearningCleaning(seed=0).fit(table).transform(table)
+        clean_reference, _ = make_labeled_table(flip=0, seed=2)
+        fixed = sum(
+            cleaned.column("y").values[i] == clean_reference.column("y").values[i]
+            for i in flipped
+        )
+        assert fixed >= 6
+
+    def test_clean_data_mostly_untouched(self):
+        table, _ = make_labeled_table(flip=0, seed=3)
+        method = ConfidentLearningCleaning(seed=0).fit(table)
+        issues = method.affected_rows(table)
+        assert issues.mean() <= 0.08
+
+    def test_fit_on_train_transforms_test(self):
+        train, _ = make_labeled_table(flip=4, seed=4)
+        method = ConfidentLearningCleaning(seed=0).fit(train)
+        test, flipped = make_labeled_table(n=60, flip=3, seed=5)
+        cleaned = method.transform(test)
+        assert cleaned.n_rows == test.n_rows  # relabels, never deletes
+
+    def test_transform_requires_fit(self):
+        table, _ = make_labeled_table()
+        with pytest.raises(Exception):
+            ConfidentLearningCleaning().transform(table)
+
+    def test_noop_when_no_issues(self):
+        # perfectly separated, tiny noise: usually no issues at all
+        table, _ = make_labeled_table(flip=0, seed=6)
+        cleaned = ConfidentLearningCleaning(seed=0).fit(table).transform(table)
+        agreement = np.mean(
+            cleaned.column("y").values == table.column("y").values
+        )
+        assert agreement >= 0.92
+
+    def test_names_match_paper(self):
+        method = ConfidentLearningCleaning()
+        assert method.detection == "cleanlab"
+        assert method.repair == "cleanlab"

@@ -1,0 +1,127 @@
+"""Tests for missing-value cleaning (deletion + six imputations)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    DUMMY_VALUE,
+    DeletionCleaning,
+    ImputationCleaning,
+    NotFittedError,
+    detect_missing_rows,
+    simple_imputation_methods,
+)
+from repro.table import Table, make_schema
+
+
+@pytest.fixture
+def dirty():
+    schema = make_schema(numeric=["a", "b"], categorical=["c"], label="y")
+    return Table.from_dict(
+        schema,
+        {
+            "a": [1.0, None, 3.0, 5.0, None],
+            "b": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "c": ["x", "y", None, "x", "x"],
+            "y": ["p", "n", "p", "n", "p"],
+        },
+    )
+
+
+class TestDetection:
+    def test_detect_missing_rows(self, dirty):
+        assert detect_missing_rows(dirty).tolist() == [
+            False, True, True, False, True,
+        ]
+
+    def test_label_missingness_not_counted(self):
+        schema = make_schema(numeric=["a"], label="y")
+        table = Table.from_dict(schema, {"a": [1.0], "y": [None]})
+        assert not detect_missing_rows(table).any()
+
+
+class TestDeletion:
+    def test_drops_rows_with_missing_features(self, dirty):
+        cleaned = DeletionCleaning().fit(dirty).transform(dirty)
+        assert cleaned.n_rows == 2
+        assert cleaned.n_missing_cells() == 0
+
+    def test_requires_fit(self, dirty):
+        with pytest.raises(NotFittedError):
+            DeletionCleaning().transform(dirty)
+
+    def test_affected_rows(self, dirty):
+        method = DeletionCleaning().fit(dirty)
+        assert method.affected_rows(dirty).sum() == 3
+
+
+class TestImputation:
+    def test_mean_mode(self, dirty):
+        cleaned = ImputationCleaning("mean", "mode").fit_transform(dirty)
+        assert cleaned.column("a").values[1] == pytest.approx(3.0)  # mean of 1,3,5
+        assert cleaned.column("c").values[2] == "x"  # mode
+        assert cleaned.n_missing_cells() == 0
+
+    def test_median(self, dirty):
+        cleaned = ImputationCleaning("median", "mode").fit_transform(dirty)
+        assert cleaned.column("a").values[1] == pytest.approx(3.0)
+
+    def test_mode_numeric(self):
+        schema = make_schema(numeric=["a"], label="y")
+        table = Table.from_dict(
+            schema, {"a": [2.0, 2.0, 9.0, None], "y": ["p", "n", "p", "n"]}
+        )
+        cleaned = ImputationCleaning("mode", "mode").fit_transform(table)
+        assert cleaned.column("a").values[3] == 2.0
+
+    def test_dummy_category(self, dirty):
+        cleaned = ImputationCleaning("mean", "dummy").fit_transform(dirty)
+        assert cleaned.column("c").values[2] == DUMMY_VALUE
+
+    def test_statistics_come_from_train_split(self, dirty):
+        method = ImputationCleaning("mean", "mode").fit(dirty)
+        schema = dirty.schema
+        test = Table.from_dict(
+            schema,
+            {
+                "a": [None, 100.0],
+                "b": [1.0, 2.0],
+                "c": [None, "zzz"],
+                "y": ["p", "n"],
+            },
+        )
+        cleaned = method.transform(test)
+        assert cleaned.column("a").values[0] == pytest.approx(3.0)  # train mean
+        assert cleaned.column("c").values[0] == "x"  # train mode
+
+    def test_invalid_strategies(self):
+        with pytest.raises(ValueError):
+            ImputationCleaning("max", "mode")
+        with pytest.raises(ValueError):
+            ImputationCleaning("mean", "constant")
+
+    def test_six_variants_and_names(self):
+        methods = simple_imputation_methods()
+        assert len(methods) == 6
+        names = {m.repair for m in methods}
+        assert names == {
+            "MeanMode", "MeanDummy", "MedianMode",
+            "MedianDummy", "ModeMode", "ModeDummy",
+        }
+
+    def test_all_missing_column_falls_back(self):
+        schema = make_schema(numeric=["a"], categorical=["c"], label="y")
+        table = Table.from_dict(
+            schema, {"a": [None, None], "c": [None, None], "y": ["p", "n"]}
+        )
+        cleaned = ImputationCleaning("mean", "mode").fit_transform(table)
+        assert cleaned.column("a").values[0] == 0.0
+        assert cleaned.column("c").values[0] == DUMMY_VALUE
+
+    def test_transform_before_fit_raises(self, dirty):
+        with pytest.raises(NotFittedError):
+            ImputationCleaning().transform(dirty)
+
+    def test_original_table_untouched(self, dirty):
+        ImputationCleaning("mean", "mode").fit_transform(dirty)
+        assert dirty.column("a").n_missing() == 2

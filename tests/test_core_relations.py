@@ -1,0 +1,124 @@
+"""Tests for the CleanML schema, relations, and Q1-Q5 queries."""
+
+import pytest
+
+from repro.core import (
+    CleanMLDatabase,
+    ExperimentRow,
+    Relation,
+    Scenario,
+    all_queries,
+    format_distribution,
+    q1,
+    q2,
+    q3,
+    q4_detection,
+    q4_repair,
+    q5,
+    render_query,
+)
+from repro.stats import Flag
+
+
+def row(**overrides):
+    defaults = dict(
+        dataset="EEG",
+        error_type="outliers",
+        scenario=Scenario.BD,
+        detection="IQR",
+        repair="Mean",
+        ml_model="knn",
+        flag=Flag.POSITIVE,
+    )
+    defaults.update(overrides)
+    return ExperimentRow(**defaults)
+
+
+@pytest.fixture
+def r1():
+    relation = Relation("R1")
+    relation.insert(row())
+    relation.insert(row(ml_model="xgboost", flag=Flag.INSIGNIFICANT))
+    relation.insert(row(detection="SD", flag=Flag.NEGATIVE))
+    relation.insert(row(scenario=Scenario.CD, flag=Flag.POSITIVE))
+    relation.insert(row(dataset="Sensor", flag=Flag.POSITIVE))
+    return relation
+
+
+class TestRelation:
+    def test_duplicate_key_rejected(self, r1):
+        with pytest.raises(ValueError):
+            r1.insert(row())
+
+    def test_unknown_relation_name(self):
+        with pytest.raises(ValueError):
+            Relation("R4")
+
+    def test_filter_by_enum_or_string(self, r1):
+        assert len(r1.filter(scenario=Scenario.BD)) == 4
+        assert len(r1.filter(scenario="BD")) == 4
+        assert len(r1.filter(flag="P")) == 3
+
+    def test_distribution_grouping(self, r1):
+        grouped = r1.distribution(group_by="dataset")
+        assert grouped["EEG"] == {"P": 2, "S": 1, "N": 1}
+        assert grouped["Sensor"] == {"P": 1, "S": 0, "N": 0}
+
+    def test_distribution_without_group(self, r1):
+        assert r1.distribution()["all"] == {"P": 3, "S": 1, "N": 1}
+
+    def test_replace_flags(self, r1):
+        r1.replace_flags([Flag.INSIGNIFICANT] * 5)
+        assert r1.distribution()["all"] == {"P": 0, "S": 5, "N": 0}
+        with pytest.raises(ValueError):
+            r1.replace_flags([Flag.POSITIVE])
+
+    def test_r2_key_ignores_model(self):
+        relation = Relation("R2")
+        relation.insert(row(ml_model=None))
+        with pytest.raises(ValueError):
+            relation.insert(row(ml_model=None, flag=Flag.NEGATIVE))
+
+    def test_database_access(self):
+        database = CleanMLDatabase()
+        assert database["R1"].name == "R1"
+        with pytest.raises(ValueError):
+            database["R9"]
+
+
+class TestQueries:
+    def test_q1(self, r1):
+        assert q1(r1, "outliers")["all"]["P"] == 3
+
+    def test_q2_groups_by_scenario(self, r1):
+        result = q2(r1, "outliers")
+        assert result["BD"]["P"] == 2
+        assert result["CD"]["P"] == 1
+
+    def test_q3_requires_r1(self, r1):
+        assert q3(r1, "outliers")["knn"]["P"] == 3
+        with pytest.raises(ValueError):
+            q3(Relation("R2"), "outliers")
+
+    def test_q4_variants(self, r1):
+        assert q4_detection(r1, "outliers")["SD"]["N"] == 1
+        assert q4_repair(r1, "outliers")["Mean"]["P"] == 3
+        with pytest.raises(ValueError):
+            q4_detection(Relation("R3"), "outliers")
+
+    def test_q5_groups_by_dataset(self, r1):
+        assert q5(r1, "outliers")["Sensor"] == {"P": 1, "S": 0, "N": 0}
+
+    def test_all_queries_per_relation(self, r1):
+        keys = list(all_queries(r1, "outliers"))
+        assert keys == ["Q1", "Q2", "Q3", "Q4.1", "Q4.2", "Q5"]
+        r3 = Relation("R3")
+        r3.insert(row(detection=None, repair=None, ml_model=None))
+        assert list(all_queries(r3, "outliers")) == ["Q1", "Q2", "Q5"]
+
+    def test_render_helpers(self, r1):
+        text = render_query(q1(r1, "outliers"), title="Q1")
+        assert "Q1" in text and "%" in text
+        formatted = format_distribution({"P": 1, "S": 1, "N": 2})
+        assert formatted.startswith("25% (1)")
+        assert format_distribution({}) == "-"

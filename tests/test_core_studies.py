@@ -1,0 +1,170 @@
+"""Tests for the §VII studies: mixed errors, robust ML, human cleaning."""
+
+import pytest
+
+from repro.cleaning import (
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+    ImputationCleaning,
+    InconsistencyCleaning,
+    OutlierCleaning,
+)
+from repro.cleaning.composite import CompositeCleaning
+from repro.core import (
+    StudyConfig,
+    human_cleaner,
+    render_comparison_table,
+    run_human_study,
+    run_mixed_study,
+    run_robustml_study,
+)
+from repro.datasets import load_dataset
+from repro.stats import Flag
+from repro.table import Table, make_schema
+
+FAST = StudyConfig(
+    n_splits=3, cv_folds=2, models=("logistic_regression", "naive_bayes"), seed=5
+)
+
+
+class TestCompositeCleaning:
+    def test_orders_stages_canonically(self):
+        composite = CompositeCleaning(
+            [OutlierCleaning("SD", "mean"), ImputationCleaning("mean", "mode")]
+        )
+        assert [m.error_type for m in composite.methods] == [
+            MISSING_VALUES, OUTLIERS,
+        ]
+
+    def test_rejects_duplicate_types(self):
+        with pytest.raises(ValueError):
+            CompositeCleaning(
+                [ImputationCleaning("mean", "mode"), ImputationCleaning("median", "mode")]
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CompositeCleaning([])
+
+    def test_cleans_both_error_types(self):
+        schema = make_schema(numeric=["x"], categorical=["c"], label="y")
+        table = Table.from_dict(
+            schema,
+            {
+                "x": [1.0, None, 1.2, 0.9, 1.1, 50.0, 1.0, 0.8] + [1.0] * 12,
+                "c": ["a"] * 20,
+                "y": ["p", "n"] * 10,
+            },
+        )
+        composite = CompositeCleaning(
+            [ImputationCleaning("mean", "mode"), OutlierCleaning("SD", "median")]
+        )
+        cleaned = composite.fit_transform(table)
+        assert cleaned.n_missing_cells() == 0
+        assert cleaned.column("x").values.max() < 50.0
+
+    def test_name_concatenates(self):
+        composite = CompositeCleaning(
+            [ImputationCleaning("mean", "mode"), OutlierCleaning("SD", "mean")]
+        )
+        assert "+" in composite.name
+
+
+class TestMixedStudy:
+    def test_credit_missing_plus_outliers(self):
+        dataset = load_dataset("Credit", seed=0, n_rows=200)
+        methods = {
+            MISSING_VALUES: [ImputationCleaning("mean", "mode")],
+            OUTLIERS: [OutlierCleaning("SD", "mean"), OutlierCleaning("IQR", "mean")],
+        }
+        comparisons = run_mixed_study(dataset, FAST, methods_by_type=methods)
+        assert len(comparisons) == 2
+        singles = {c.single_type for c in comparisons}
+        assert singles == {MISSING_VALUES, OUTLIERS}
+        for comparison in comparisons:
+            assert comparison.mixed_types == (MISSING_VALUES, OUTLIERS)
+            assert len(comparison.pairs) == FAST.n_splits
+            assert isinstance(comparison.flag, Flag)
+
+    def test_single_error_dataset_rejected(self):
+        dataset = load_dataset("Sensor", seed=0, n_rows=200)
+        with pytest.raises(ValueError):
+            run_mixed_study(dataset, FAST)
+
+    def test_render_comparison_table(self):
+        dataset = load_dataset("Credit", seed=0, n_rows=200)
+        methods = {
+            MISSING_VALUES: [ImputationCleaning("mean", "mode")],
+            OUTLIERS: [OutlierCleaning("SD", "mean")],
+        }
+        comparisons = run_mixed_study(dataset, FAST, methods_by_type=methods)
+        text = render_comparison_table(
+            comparisons,
+            title="Table 17",
+            columns=["dataset", "mixed_types", "single_type"],
+        )
+        assert "Table 17" in text and "Credit" in text
+
+
+class TestRobustMLStudy:
+    def test_missing_values_vs_nacl_two_rows(self):
+        dataset = load_dataset("Titanic", seed=0, n_rows=200)
+        methods = [ImputationCleaning("mean", "mode")]
+        rows = run_robustml_study(
+            dataset, MISSING_VALUES, FAST, methods=methods, mlp_trials=1
+        )
+        assert len(rows) == 2
+        assert rows[0].robust_arm == "NaCL"
+        assert rows[0].cleaning_arm.startswith("LR")
+        assert rows[1].cleaning_arm.startswith("best model")
+
+    def test_outliers_vs_mlp_one_row(self):
+        dataset = load_dataset("Sensor", seed=0, n_rows=200)
+        methods = [OutlierCleaning("SD", "mean")]
+        rows = run_robustml_study(
+            dataset, OUTLIERS, FAST, methods=methods, mlp_trials=1
+        )
+        assert len(rows) == 1
+        assert rows[0].robust_arm == "MLP"
+        for pair in rows[0].pairs:
+            assert 0.0 <= pair.before <= 1.0
+            assert 0.0 <= pair.after <= 1.0
+
+
+class TestHumanCleaningStudy:
+    def test_oracle_beats_or_ties_automatic_on_babyproduct(self):
+        dataset = load_dataset("BabyProduct", seed=0, n_rows=250)
+        methods = [ImputationCleaning("mean", "mode")]
+        comparison = run_human_study(
+            dataset, MISSING_VALUES, FAST, methods=methods
+        )
+        assert comparison.human_mode == "oracle"
+        assert len(comparison.pairs) == FAST.n_splits
+        # the oracle restores ground truth; on average it cannot lose badly
+        mean_auto = sum(p.before for p in comparison.pairs) / len(comparison.pairs)
+        mean_human = sum(p.after for p in comparison.pairs) / len(comparison.pairs)
+        assert mean_human >= mean_auto - 0.05
+
+    def test_rule_based_for_inconsistencies(self):
+        dataset = load_dataset("Company", seed=0, n_rows=250)
+        cleaner = human_cleaner(dataset, INCONSISTENCIES)
+        fitted = cleaner.fit(dataset.dirty)
+        cleaned = fitted.transform(dataset.dirty)
+        dirty_domain = set(dataset.dirty.column("state").unique())
+        clean_domain = set(cleaned.column("state").unique())
+        assert len(clean_domain) < len(dirty_domain)
+
+    def test_human_study_runs_on_inconsistencies(self):
+        dataset = load_dataset("University", seed=0, n_rows=220)
+        comparison = run_human_study(
+            dataset, INCONSISTENCIES, FAST, methods=[InconsistencyCleaning()]
+        )
+        assert comparison.human_mode == "rules"
+        assert isinstance(comparison.flag, Flag)
+
+    def test_missing_rules_raise(self):
+        dataset = load_dataset("EEG", seed=0, n_rows=200)
+        with pytest.raises(ValueError):
+            human_cleaner(dataset, INCONSISTENCIES)

@@ -1,0 +1,49 @@
+"""Tests for the error-prevalence audit."""
+
+import pytest
+
+from repro.datasets import (
+    audit_dataset,
+    load_dataset,
+    mislabel_variants,
+    render_audits,
+)
+
+
+class TestAudit:
+    def test_missing_value_rates(self):
+        audit = audit_dataset(load_dataset("Titanic", seed=0, n_rows=300))
+        assert audit.missing_row_rate is not None
+        assert 0.1 < audit.missing_row_rate < 0.6
+        assert audit.missing_cell_rate < audit.missing_row_rate
+        assert "age" in audit.per_column_missing
+
+    def test_outlier_rate(self):
+        audit = audit_dataset(load_dataset("Sensor", seed=0, n_rows=300))
+        assert audit.outlier_row_rate is not None
+        assert 0.0 < audit.outlier_row_rate < 0.5
+        assert audit.missing_row_rate is None  # Sensor has no missing values
+
+    def test_duplicate_rate_uses_ground_truth(self):
+        audit = audit_dataset(load_dataset("Citation", seed=0, n_rows=300))
+        # generator plants 8% duplicates
+        assert audit.duplicate_row_rate == pytest.approx(0.08 / 1.08, abs=0.02)
+
+    def test_inconsistency_rate(self):
+        audit = audit_dataset(load_dataset("Company", seed=0, n_rows=300))
+        assert audit.inconsistent_row_rate is not None
+        assert audit.inconsistent_row_rate > 0.1
+
+    def test_mislabel_rate_matches_injection(self):
+        base = load_dataset("Titanic", seed=0, n_rows=300)
+        uniform = mislabel_variants(base, seed=0, rate=0.05)[0]
+        audit = audit_dataset(uniform)
+        assert audit.mislabel_rate == pytest.approx(0.05, abs=0.01)
+
+    def test_render(self):
+        audits = [
+            audit_dataset(load_dataset(name, seed=0, n_rows=200))
+            for name in ("Titanic", "Sensor", "Company")
+        ]
+        text = render_audits(audits)
+        assert "Titanic" in text and "%" in text and "-" in text

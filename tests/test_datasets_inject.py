@@ -1,0 +1,175 @@
+"""Tests for the error-injection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import ROW_ID
+from repro.datasets import (
+    attach_row_ids,
+    inconsistency_rules,
+    inject_duplicates,
+    inject_inconsistencies,
+    inject_mislabels,
+    inject_missing,
+    inject_outliers,
+    perturb_string,
+)
+from repro.table import Table, make_schema
+
+
+@pytest.fixture
+def clean():
+    rng = np.random.default_rng(0)
+    n = 200
+    schema = make_schema(
+        numeric=["x1", "x2"], categorical=["c"], label="y", keys=("c",)
+    )
+    table = Table.from_dict(
+        schema,
+        {
+            "x1": rng.normal(10.0, 2.0, n).tolist(),
+            "x2": rng.normal(0.0, 1.0, n).tolist(),
+            "c": [f"entity {i}" for i in range(n)],
+            "y": ["a" if i < 140 else "b" for i in range(n)],
+        },
+    )
+    return attach_row_ids(table)
+
+
+class TestInjectMissing:
+    def test_rate_approximately_respected(self, clean):
+        rng = np.random.default_rng(1)
+        dirty = inject_missing(clean, ["x1"], 0.2, rng)
+        rate = dirty.column("x1").n_missing() / dirty.n_rows
+        assert 0.1 < rate < 0.3
+
+    def test_mar_missingness_correlates_with_driver(self, clean):
+        rng = np.random.default_rng(2)
+        dirty = inject_missing(clean, ["c"], 0.3, rng, driver="x1")
+        missing = dirty.column("c").missing_mask()
+        x1 = clean.column("x1").values
+        median = np.median(x1)
+        high_rate = missing[x1 > median].mean()
+        low_rate = missing[x1 <= median].mean()
+        assert high_rate > low_rate
+
+    def test_invalid_rate(self, clean):
+        with pytest.raises(ValueError):
+            inject_missing(clean, ["x1"], 1.0, np.random.default_rng(0))
+
+    def test_original_untouched(self, clean):
+        inject_missing(clean, ["x1"], 0.5, np.random.default_rng(0))
+        assert clean.column("x1").n_missing() == 0
+
+
+class TestInjectOutliers:
+    def test_creates_extreme_values(self, clean):
+        rng = np.random.default_rng(3)
+        dirty = inject_outliers(clean, ["x1"], 0.05, rng, magnitude=20.0)
+        spread_before = clean.column("x1").std()
+        spread_after = dirty.column("x1").std()
+        assert spread_after > 3.0 * spread_before
+
+    def test_count_matches_rate(self, clean):
+        rng = np.random.default_rng(4)
+        dirty = inject_outliers(clean, ["x2"], 0.1, rng)
+        changed = np.sum(
+            dirty.column("x2").values != clean.column("x2").values
+        )
+        assert changed == 20
+
+    def test_rejects_categorical(self, clean):
+        with pytest.raises(ValueError):
+            inject_outliers(clean, ["c"], 0.1, np.random.default_rng(0))
+
+
+class TestInjectDuplicates:
+    def test_appends_rows_with_fresh_ids(self, clean):
+        rng = np.random.default_rng(5)
+        dirty = inject_duplicates(clean, 0.1, rng)
+        assert dirty.n_rows == 220
+        clean_ids = set(clean.column(ROW_ID).values.astype(int).tolist())
+        dirty_ids = dirty.column(ROW_ID).values.astype(int).tolist()
+        fresh = [i for i in dirty_ids if i not in clean_ids]
+        assert len(fresh) == 20
+
+    def test_zero_rate_is_noop(self, clean):
+        rng = np.random.default_rng(6)
+        assert inject_duplicates(clean, 0.0, rng) == clean
+
+    def test_perturbed_copies_differ_but_resemble(self, clean):
+        rng = np.random.default_rng(7)
+        dirty = inject_duplicates(
+            clean, 0.2, rng, perturb_columns=["c"], exact_fraction=0.0
+        )
+        # every duplicate should still be near its source numerically
+        assert dirty.n_rows == 240
+
+
+class TestPerturbString:
+    def test_output_differs_usually(self):
+        rng = np.random.default_rng(8)
+        changed = sum(
+            perturb_string("hello world", rng) != "hello world"
+            for _ in range(50)
+        )
+        assert changed >= 40
+
+    def test_short_strings_survive(self):
+        rng = np.random.default_rng(9)
+        assert perturb_string("a", rng) == "ax"
+
+
+class TestInjectInconsistencies:
+    def test_introduces_variants(self, clean):
+        rng = np.random.default_rng(10)
+        # rewrite c to a small domain first
+        table = clean.with_values("c", ["east" if i % 2 else "west" for i in range(200)])
+        variants = {"c": {"east": ["East", "E."], "west": ["West", "W."]}}
+        dirty = inject_inconsistencies(table, variants, 0.5, rng)
+        values = set(dirty.column("c").values.tolist())
+        assert values & {"East", "E.", "West", "W."}
+
+    def test_rules_invert_variants(self):
+        variants = {"c": {"east": ["East", "E."]}}
+        rules = inconsistency_rules(variants)
+        assert rules == {"c": {"East": "east", "E.": "east"}}
+
+
+class TestInjectMislabels:
+    def test_uniform_flips_in_both_classes(self, clean):
+        rng = np.random.default_rng(11)
+        dirty = inject_mislabels(clean, rng, strategy="uniform", rate=0.1)
+        before = np.array(clean.labels)
+        after = np.array(dirty.labels)
+        flipped_a = np.sum((before == "a") & (after == "b"))
+        flipped_b = np.sum((before == "b") & (after == "a"))
+        assert flipped_a == 14  # 10% of 140
+        assert flipped_b == 6   # 10% of 60
+
+    def test_major_only_touches_majority(self, clean):
+        rng = np.random.default_rng(12)
+        dirty = inject_mislabels(clean, rng, strategy="major", rate=0.1)
+        before = np.array(clean.labels)
+        after = np.array(dirty.labels)
+        assert np.sum((before == "b") & (after == "a")) == 0
+        assert np.sum((before == "a") & (after == "b")) == 14
+
+    def test_minor_only_touches_minority(self, clean):
+        rng = np.random.default_rng(13)
+        dirty = inject_mislabels(clean, rng, strategy="minor", rate=0.1)
+        before = np.array(clean.labels)
+        after = np.array(dirty.labels)
+        assert np.sum((before == "a") & (after == "b")) == 0
+        assert np.sum((before == "b") & (after == "a")) == 6
+
+    def test_rejects_multiclass(self, clean):
+        three = clean.replace_labels(
+            ["a", "b", "c"] * 66 + ["a", "b"]
+        )
+        with pytest.raises(ValueError):
+            inject_mislabels(three, np.random.default_rng(0))
+
+    def test_rejects_unknown_strategy(self, clean):
+        with pytest.raises(ValueError):
+            inject_mislabels(clean, np.random.default_rng(0), strategy="random")

@@ -1,0 +1,146 @@
+"""Tests for the 14 dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    DUPLICATES,
+    ERROR_TYPES,
+    INCONSISTENCIES,
+    MISLABELS,
+    MISSING_VALUES,
+    OUTLIERS,
+    ROW_ID,
+)
+from repro.datasets import (
+    DATASET_NAMES,
+    datasets_with,
+    expected_datasets,
+    load_dataset,
+    mislabel_variants,
+)
+from repro.ml import XGBoostClassifier, accuracy
+from repro.table import encode_pair, train_test_split
+
+
+class TestEveryDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generates_and_validates(self, name):
+        dataset = load_dataset(name, seed=0)
+        assert dataset.name == name
+        assert dataset.dirty.n_rows >= 300
+        assert dataset.clean.n_rows >= 300
+        assert ROW_ID in dataset.dirty.schema.hidden
+        assert dataset.error_types
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_reproducible_with_seed(self, name):
+        a = load_dataset(name, seed=42)
+        b = load_dataset(name, seed=42)
+        assert a.dirty == b.dirty
+        assert a.clean == b.clean
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, seed=1)
+        b = load_dataset(name, seed=2)
+        assert a.dirty != b.dirty
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_clean_version_is_learnable(self, name):
+        """Boosted trees on the clean data must beat majority guessing.
+
+        (Some tasks — Clothing's |size - ideal| fit rule — are
+        intentionally nonlinear, so the check uses a flexible model.)
+        """
+        dataset = load_dataset(name, seed=0)
+        train, test = train_test_split(dataset.clean, seed=0)
+        x_train, y_train, x_test, y_test, _ = encode_pair(train, test)
+        model = XGBoostClassifier(n_estimators=30, random_state=0)
+        model.fit(x_train, y_train)
+        score = accuracy(y_test, model.predict(x_test))
+        majority = max(np.mean(y_test == 0), np.mean(y_test == 1))
+        assert score > majority + 0.03, f"{name}: {score:.3f} vs {majority:.3f}"
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_binary_labels(self, name):
+        dataset = load_dataset(name, seed=0)
+        assert len(dataset.clean.column(dataset.clean.schema.label).unique()) == 2
+
+
+class TestErrorsArePresent:
+    def test_missing_value_datasets_have_missing_cells(self):
+        for dataset in datasets_with(MISSING_VALUES, seed=0):
+            assert len(dataset.dirty.rows_with_missing()) > 0, dataset.name
+
+    def test_outlier_datasets_have_heavier_tails(self):
+        for dataset in datasets_with(OUTLIERS, seed=0):
+            dirty_std = max(
+                dataset.dirty.column(c).std()
+                / max(dataset.clean.column(c).std(), 1e-9)
+                for c in dataset.dirty.schema.numeric_features
+            )
+            assert dirty_std > 1.5, dataset.name
+
+    def test_duplicate_datasets_have_extra_rows(self):
+        for dataset in datasets_with(DUPLICATES, seed=0):
+            assert dataset.dirty.n_rows > dataset.clean.n_rows, dataset.name
+
+    def test_inconsistency_datasets_have_variant_spellings(self):
+        for dataset in datasets_with(INCONSISTENCIES, seed=0):
+            extra_values = 0
+            for name in dataset.dirty.schema.categorical_features:
+                dirty_domain = set(dataset.dirty.column(name).unique())
+                clean_domain = set(dataset.clean.column(name).unique())
+                extra_values += len(dirty_domain - clean_domain)
+            assert extra_values > 0, dataset.name
+
+    def test_mislabel_datasets_have_flipped_labels(self):
+        for dataset in datasets_with(MISLABELS, seed=0):
+            if dataset.dirty.n_rows != dataset.clean.n_rows:
+                continue  # variants always align
+            disagreement = np.mean(
+                dataset.dirty.labels != dataset.clean.labels
+            )
+            assert disagreement > 0.0, dataset.name
+
+
+class TestRegistry:
+    def test_fourteen_datasets(self):
+        assert len(DATASET_NAMES) == 14
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("MNIST")
+
+    def test_table3_error_assignments(self):
+        for error_type in ERROR_TYPES:
+            expected = set(expected_datasets(error_type))
+            actual = {
+                name
+                for name in DATASET_NAMES
+                if error_type in load_dataset(name, seed=0).error_types
+            }
+            assert actual == expected, error_type
+
+    def test_mislabel_population_matches_table13(self):
+        names = {d.name for d in datasets_with(MISLABELS, seed=0)}
+        assert "Clothing" in names
+        for base in ("EEG", "Marketing", "Titanic", "USCensus"):
+            for strategy in ("uniform", "major", "minor"):
+                assert f"{base}_{strategy}" in names
+        assert len(names) == 13
+
+    def test_mislabel_variants_flip_five_percent(self):
+        base = load_dataset("Titanic", seed=0)
+        for variant in mislabel_variants(base, seed=0):
+            flips = np.mean(variant.dirty.labels != base.clean.labels)
+            assert 0.0 < flips <= 0.06, variant.name
+
+    def test_credit_is_imbalanced(self):
+        assert load_dataset("Credit", seed=0).metric == "f1"
+        assert load_dataset("EEG", seed=0).metric == "accuracy"
+
+    def test_inconsistency_datasets_carry_rules(self):
+        for dataset in datasets_with(INCONSISTENCIES, seed=0):
+            assert dataset.rules, dataset.name

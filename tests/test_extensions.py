@@ -1,0 +1,157 @@
+"""Tests for the §VIII extension features: KNN imputation, prioritized
+human cleaning, and the technical-report generator."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    MISSING_VALUES,
+    OUTLIERS,
+    ImputationCleaning,
+    KNNImputationCleaning,
+)
+from repro.core import (
+    CleanMLStudy,
+    StudyConfig,
+    generate_report,
+    run_effort_study,
+    write_report,
+)
+from repro.core.active import POLICIES, render_effort_curves
+from repro.datasets import load_dataset
+from repro.table import Table, make_schema
+
+
+class TestKNNImputation:
+    def make_table(self):
+        # two tight clusters; the missing cell's neighbors are cluster 1
+        schema = make_schema(numeric=["a", "b"], categorical=["c"], label="y")
+        return Table.from_dict(
+            schema,
+            {
+                "a": [1.0, 1.1, 0.9, 1.0, 9.0, 9.1, 8.9, None],
+                "b": [5.0, 5.1, 4.9, 5.0, 1.0, 1.1, 0.9, 1.0],
+                "c": ["x", "x", "x", "x", "z", "z", "z", None],
+                "y": ["p", "p", "p", "p", "n", "n", "n", "n"],
+            },
+        )
+
+    def test_fills_from_local_neighborhood(self):
+        table = self.make_table()
+        method = KNNImputationCleaning(n_neighbors=3).fit(table)
+        cleaned = method.transform(table)
+        # row 7 has b=1.0 -> neighbors are the 9-ish cluster
+        assert cleaned.column("a").values[7] == pytest.approx(9.0, abs=0.2)
+        assert cleaned.column("c").values[7] == "z"
+        assert cleaned.n_missing_cells() == 0
+
+    def test_knn_beats_global_mean_on_clustered_data(self):
+        table = self.make_table()
+        knn_fill = (
+            KNNImputationCleaning(n_neighbors=3)
+            .fit(table)
+            .transform(table)
+            .column("a")
+            .values[7]
+        )
+        mean_fill = (
+            ImputationCleaning("mean", "mode")
+            .fit(table)
+            .transform(table)
+            .column("a")
+            .values[7]
+        )
+        truth = 9.0
+        assert abs(knn_fill - truth) < abs(mean_fill - truth)
+
+    def test_no_missing_is_noop(self):
+        schema = make_schema(numeric=["a"], label="y")
+        table = Table.from_dict(schema, {"a": [1.0, 2.0], "y": ["p", "n"]})
+        method = KNNImputationCleaning().fit(table)
+        assert method.transform(table) == table
+
+    def test_registry_compatible(self):
+        method = KNNImputationCleaning()
+        assert method.error_type == MISSING_VALUES
+        assert method.name == "EmptyEntries/KNN"
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNNImputationCleaning(n_neighbors=0)
+
+    def test_works_in_a_study(self):
+        config = StudyConfig(
+            n_splits=2, cv_folds=2, models=("logistic_regression",), seed=0
+        )
+        study = CleanMLStudy(config)
+        study.add(
+            load_dataset("Titanic", seed=0, n_rows=150),
+            MISSING_VALUES,
+            methods=[KNNImputationCleaning(n_neighbors=3)],
+        )
+        database = study.run()
+        assert len(database["R1"]) == 1
+
+
+class TestEffortStudy:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        config = StudyConfig(
+            n_splits=3, cv_folds=2, models=("logistic_regression",), seed=0
+        )
+        dataset = load_dataset("USCensus", seed=0, n_rows=160)
+        return run_effort_study(
+            dataset,
+            MISSING_VALUES,
+            fallback=ImputationCleaning("mean", "mode"),
+            config=config,
+            budgets=(0.0, 0.5, 1.0),
+        )
+
+    def test_one_curve_per_policy(self, curves):
+        assert {curve.policy for curve in curves} == set(POLICIES)
+
+    def test_scores_are_metrics(self, curves):
+        for curve in curves:
+            assert len(curve.scores) == 3
+            assert all(0.0 <= score <= 1.0 for score in curve.scores)
+
+    def test_zero_budget_identical_across_policies(self, curves):
+        zero_scores = {curve.scores[0] for curve in curves}
+        assert len(zero_scores) == 1  # no human effort -> same pipeline
+
+    def test_render(self, curves):
+        text = render_effort_curves(curves, title="curves")
+        assert "random" in text and "50%" in text
+
+
+class TestTechReport:
+    @pytest.fixture(scope="class")
+    def database(self):
+        config = StudyConfig(
+            n_splits=2,
+            cv_folds=2,
+            models=("naive_bayes",),
+            include_advanced_cleaning=False,
+            seed=0,
+        )
+        study = CleanMLStudy(config)
+        study.add(load_dataset("Sensor", seed=0, n_rows=150), OUTLIERS)
+        return study.run()
+
+    def test_report_covers_all_queries(self, database):
+        report = generate_report(database)
+        for heading in ("Q1 on R1", "Q3 on R1", "Q4.1 on R1", "Q5 on R1",
+                        "Q1 on R2", "Q1 on R3"):
+            assert heading in report
+        assert "Relation inventory" in report
+        assert "paper Table 16" in report
+
+    def test_absent_error_types_omitted(self, database):
+        report = generate_report(database)
+        assert "## duplicates" not in report
+
+    def test_write_report(self, database, tmp_path):
+        path = write_report(database, tmp_path / "out" / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# CleanML results")

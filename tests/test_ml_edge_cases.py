@@ -1,0 +1,88 @@
+"""Edge-case tests for the ML substrate that the main suites skip."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    GaussianNB,
+    LogisticRegression,
+    XGBoostClassifier,
+    accuracy,
+)
+from tests.conftest import make_blobs
+
+
+class TestGaussianNBEdges:
+    def test_unobserved_class_id_gets_zero_probability(self):
+        # class ids 0 and 2 present, 1 absent (possible after encoding
+        # a label that only occurs in the test split)
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array([0, 0, 2, 2])
+        model = GaussianNB().fit(X, y)
+        proba = model.predict_proba(np.array([[0.0], [5.0]]))
+        assert proba.shape == (2, 3)
+        assert np.allclose(proba[:, 1], 0.0)
+        assert model.predict(np.array([[0.05]]))[0] == 0
+
+    def test_zero_variance_feature_handled(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 10.0], [1.0, 11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+
+class TestAdaBoostEdges:
+    def test_three_class_boosting(self):
+        X, y = make_blobs(n_classes=3, n_per_class=30, seed=4)
+        model = AdaBoostClassifier(
+            n_estimators=25, max_depth=2, random_state=0
+        ).fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.9
+
+    def test_learning_rate_scales_alphas(self):
+        X, y = make_blobs(seed=5)
+        # flip some labels so the first stump is imperfect (a perfect
+        # stump takes the early-exit path with a fixed large alpha)
+        y = y.copy()
+        y[::7] = 1 - y[::7]
+        slow = AdaBoostClassifier(
+            n_estimators=5, learning_rate=0.1, random_state=0
+        ).fit(X, y)
+        fast = AdaBoostClassifier(
+            n_estimators=5, learning_rate=1.0, random_state=0
+        ).fit(X, y)
+        # the first stump is identical; alphas differ by the learning rate
+        assert slow.alphas_[0] == pytest.approx(0.1 * fast.alphas_[0])
+
+
+class TestXGBoostEdges:
+    def test_three_class_softmax_objective(self):
+        X, y = make_blobs(n_classes=3, n_per_class=30, seed=6)
+        model = XGBoostClassifier(n_estimators=15, random_state=0).fit(X, y)
+        assert accuracy(y, model.predict(X)) >= 0.9
+        assert len(model.trees_[0]) == 3  # one tree per class per round
+
+    def test_min_child_weight_blocks_tiny_splits(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 1, 0, 1])
+        strict = XGBoostClassifier(
+            n_estimators=3, min_child_weight=100.0, random_state=0
+        ).fit(X, y)
+        proba = strict.predict_proba(X)
+        # no split can satisfy the hessian mass bound -> near-uniform
+        assert np.allclose(proba, 0.5, atol=0.05)
+
+
+class TestLogisticRegressionEdges:
+    def test_extreme_l2_stays_finite(self):
+        X, y = make_blobs(seed=7)
+        model = LogisticRegression(l2=1e6, learning_rate=1.0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+        assert np.linalg.norm(model.coef_) < 1.0
+
+    def test_single_sample_per_class(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 1])
+        model = LogisticRegression().fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0

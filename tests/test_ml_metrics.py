@@ -1,0 +1,100 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_known_value(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_perfect_and_zero(self):
+        assert accuracy([1, 1], [1, 1]) == 1.0
+        assert accuracy([1, 1], [0, 0]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1])
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=1, max_size=50),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, labels, constant):
+        score = accuracy(labels, [constant] * len(labels))
+        assert 0.0 <= score <= 1.0
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+
+    def test_explicit_class_count(self):
+        matrix = confusion_matrix([0], [0], n_classes=3)
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 1
+
+    def test_row_sums_are_class_counts(self):
+        y_true = [0, 0, 0, 1, 2, 2]
+        matrix = confusion_matrix(y_true, [0, 1, 2, 1, 2, 0])
+        assert matrix.sum(axis=1).tolist() == [3, 1, 2]
+
+
+class TestF1:
+    def test_known_binary_value(self):
+        # tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3 -> f1=2/3
+        p, r, f1 = precision_recall_f1([1, 1, 1, 0, 0], [1, 1, 0, 1, 0])
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_cases_return_zero(self):
+        assert precision_recall_f1([0, 0], [0, 0], positive=1) == (0.0, 0.0, 0.0)
+
+    def test_binary_uses_class_one_by_default(self):
+        assert f1_score([1, 0], [1, 1]) == pytest.approx(2 / 3)
+
+    def test_macro_average_for_multiclass(self):
+        score = f1_score([0, 1, 2], [0, 1, 1])
+        per_class = [
+            f1_score([0, 1, 2], [0, 1, 1], positive=c) for c in (0, 1, 2)
+        ]
+        assert score == pytest.approx(float(np.mean(per_class)))
+
+    def test_explicit_positive_class(self):
+        assert f1_score([0, 0, 1], [0, 0, 0], positive=0) == pytest.approx(0.8)
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_scores_one_or_zero(self, labels):
+        score = f1_score(labels, labels)
+        if 1 in labels:
+            assert score == 1.0
+        else:
+            assert score == 0.0
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+        assert log_loss([0, 1], proba) < 0.02
+
+    def test_uniform_is_log_k(self):
+        proba = np.full((4, 2), 0.5)
+        assert log_loss([0, 1, 0, 1], proba) == pytest.approx(np.log(2))
+
+    def test_clipping_avoids_infinity(self):
+        proba = np.array([[1.0, 0.0]])
+        assert np.isfinite(log_loss([1], proba))

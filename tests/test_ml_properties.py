@@ -1,0 +1,124 @@
+"""Property-based tests on ML substrate invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    one_hot,
+    softmax,
+)
+
+
+@st.composite
+def small_problems(draw):
+    """Random small classification problems with >= 2 classes present."""
+    n = draw(st.integers(6, 40))
+    n_features = draw(st.integers(1, 5))
+    rng = np.random.default_rng(draw(st.integers(0, 100_000)))
+    X = rng.normal(0.0, 1.0, size=(n, n_features))
+    y = rng.integers(0, draw(st.integers(2, 3)), size=n)
+    y[0], y[1] = 0, 1  # guarantee two classes
+    return X, y.astype(np.int64)
+
+
+FAST_MODELS = [
+    lambda: LogisticRegression(max_iter=50),
+    lambda: KNeighborsClassifier(n_neighbors=3),
+    lambda: DecisionTreeClassifier(max_depth=4),
+    GaussianNB,
+]
+
+
+class TestClassifierInvariants:
+    @given(problem=small_problems(), pick=st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_proba_is_a_distribution(self, problem, pick):
+        X, y = problem
+        model = FAST_MODELS[pick]().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), int(y.max()) + 1)
+        assert np.all(proba >= -1e-12)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    @given(problem=small_problems(), pick=st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_predict_is_argmax_of_proba(self, problem, pick):
+        X, y = problem
+        model = FAST_MODELS[pick]().fit(X, y)
+        assert np.array_equal(
+            model.predict(X), np.argmax(model.predict_proba(X), axis=1)
+        )
+
+    @given(problem=small_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_knn_row_permutation_invariance(self, problem):
+        X, y = problem
+        query = X[:5]
+        a = KNeighborsClassifier(n_neighbors=3).fit(X, y).predict_proba(query)
+        order = np.random.default_rng(0).permutation(len(y))
+        b = KNeighborsClassifier(n_neighbors=3).fit(X[order], y[order])
+        assert np.allclose(a, b.predict_proba(query))
+
+
+class TestNumericHelpers:
+    @given(
+        st.lists(
+            st.lists(st.floats(-50, 50), min_size=2, max_size=4),
+            min_size=1,
+            max_size=20,
+        ).filter(lambda rows: len({len(r) for r in rows}) == 1)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_sum_to_one(self, rows):
+        out = softmax(np.array(rows))
+        assert np.allclose(out.sum(axis=1), 1.0)
+        assert np.all(out >= 0.0)
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_one_hot_has_single_one_per_row(self, labels):
+        matrix = one_hot(np.array(labels), 5)
+        assert np.array_equal(matrix.sum(axis=1), np.ones(len(labels)))
+        assert np.array_equal(np.argmax(matrix, axis=1), labels)
+
+
+class TestMetricInvariants:
+    @given(
+        st.lists(st.integers(0, 2), min_size=2, max_size=40),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_confusion_matrix_total_is_n(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.integers(0, 3, len(labels))
+        matrix = confusion_matrix(labels, predictions, n_classes=3)
+        assert matrix.sum() == len(labels)
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=40),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_accuracy_from_confusion_diagonal(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        predictions = rng.integers(0, 2, len(labels))
+        matrix = confusion_matrix(labels, predictions, n_classes=2)
+        assert accuracy(labels, predictions) == pytest.approx(
+            matrix.trace() / matrix.sum()
+        )
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_f1_bounded(self, labels):
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, len(labels))
+        assert 0.0 <= f1_score(labels, predictions) <= 1.0

@@ -1,0 +1,153 @@
+"""Tests for model selection, random search, NaCL, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MODEL_NAMES,
+    DecisionTreeClassifier,
+    KNeighborsClassifier,
+    LogisticRegression,
+    NaCLClassifier,
+    RandomSearch,
+    accuracy,
+    cross_val_score,
+    display_name,
+    make_model,
+    sample_params,
+    score_predictions,
+    search_space,
+)
+from tests.conftest import make_blobs, make_xor
+
+
+class TestCrossValScore:
+    def test_high_on_separable_data(self):
+        X, y = make_blobs(seed=5)
+        score = cross_val_score(LogisticRegression(), X, y, seed=0)
+        assert score >= 0.95
+
+    def test_folds_capped_at_sample_count(self):
+        X, y = make_blobs(n_per_class=2, seed=5)
+        score = cross_val_score(KNeighborsClassifier(n_neighbors=1), X, y, n_folds=50, seed=0)
+        assert 0.0 <= score <= 1.0
+
+    def test_f1_metric_dispatch(self):
+        X, y = make_blobs(seed=6)
+        score = cross_val_score(LogisticRegression(), X, y, metric="f1", seed=0)
+        assert score >= 0.9
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            score_predictions([0], [0], metric="auc")
+
+
+class TestSampleParams:
+    def test_choice_list(self):
+        rng = np.random.default_rng(0)
+        params = sample_params({"k": [1, 2, 3]}, rng)
+        assert params["k"] in (1, 2, 3)
+
+    def test_loguniform_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            value = sample_params({"l2": ("loguniform", 1e-4, 1.0)}, rng)["l2"]
+            assert 1e-4 <= value <= 1.0
+
+    def test_uniform_in_range(self):
+        rng = np.random.default_rng(0)
+        value = sample_params({"p": ("uniform", 2.0, 3.0)}, rng)["p"]
+        assert 2.0 <= value <= 3.0
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(ValueError):
+            sample_params({"x": "oops"}, np.random.default_rng(0))
+
+
+class TestRandomSearch:
+    def test_zero_iterations_uses_defaults(self):
+        X, y = make_blobs(seed=7)
+        search = RandomSearch(LogisticRegression(), None, n_iter=0, seed=0).fit(X, y)
+        assert search.best_params_ == {}
+        assert accuracy(y, search.predict(X)) >= 0.95
+
+    def test_search_beats_or_matches_bad_default(self):
+        # a depth-1 tree cannot separate three blobs; the space includes 5
+        X, y = make_blobs(n_classes=3, seed=8)
+        search = RandomSearch(
+            DecisionTreeClassifier(max_depth=1),
+            {"max_depth": [1, 5]},
+            n_iter=6,
+            seed=0,
+        ).fit(X, y)
+        assert search.best_params_.get("max_depth") == 5
+        assert accuracy(y, search.predict(X)) >= 0.9
+
+    def test_best_score_recorded(self):
+        X, y = make_blobs(seed=9)
+        search = RandomSearch(
+            KNeighborsClassifier(), {"n_neighbors": [1, 3]}, n_iter=2, seed=0
+        ).fit(X, y)
+        assert 0.0 <= search.best_score_ <= 1.0
+
+
+class TestNaCL:
+    def test_handles_missing_at_prediction(self):
+        X, y = make_blobs(seed=10)
+        model = NaCLClassifier().fit(X, y)
+        X_missing = X.copy()
+        X_missing[::3, 0] = np.nan
+        predictions = model.predict(X_missing)
+        assert accuracy(y, predictions) >= 0.85
+
+    def test_trains_through_missing_rows(self):
+        X, y = make_blobs(seed=11)
+        X_train = X.copy()
+        X_train[:10, 1] = np.nan  # incomplete rows are excluded from LR fit
+        model = NaCLClassifier().fit(X_train, y)
+        assert accuracy(y, model.predict(X)) >= 0.9
+
+    def test_all_rows_missing_raises(self):
+        X = np.full((5, 2), np.nan)
+        with pytest.raises(ValueError):
+            NaCLClassifier().fit(X, np.zeros(5, dtype=int))
+
+    def test_more_missingness_means_less_confidence(self):
+        X, y = make_blobs(seed=12)
+        model = NaCLClassifier().fit(X, y)
+        complete = model.predict_proba(X[:5])
+        partial = X[:5].copy()
+        partial[:, :2] = np.nan
+        degraded = model.predict_proba(partial)
+        assert degraded.max(axis=1).mean() <= complete.max(axis=1).mean() + 1e-9
+
+
+class TestRegistry:
+    def test_all_seven_models_constructible(self):
+        assert len(MODEL_NAMES) == 7
+        X, y = make_blobs(n_per_class=25, seed=13)
+        for name in MODEL_NAMES:
+            model = make_model(name, seed=0)
+            model.fit(X, y)
+            assert accuracy(y, model.predict(X)) >= 0.9, name
+
+    def test_search_spaces_exist_for_every_model(self):
+        for name in MODEL_NAMES:
+            space = search_space(name)
+            assert isinstance(space, dict) and space
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ValueError):
+            make_model("svm")
+        with pytest.raises(ValueError):
+            search_space("svm")
+
+    def test_display_names(self):
+        assert display_name("knn") == "KNN"
+        assert display_name("something_else") == "something_else"
+
+    def test_search_space_params_accepted_by_model(self):
+        rng = np.random.default_rng(0)
+        for name in MODEL_NAMES:
+            params = sample_params(search_space(name), rng)
+            make_model(name).clone(**params)  # must not raise

@@ -1,0 +1,116 @@
+"""Tests for study persistence (save / load / merge / replay)."""
+
+import json
+
+import pytest
+
+from repro.core import CleanMLStudy, Scenario, StudyConfig
+from repro.core.persistence import (
+    experiment_from_dict,
+    experiment_to_dict,
+    load_experiments,
+    load_study,
+    merge_studies,
+    save_experiments,
+    save_study,
+)
+from repro.core.runner import RawExperiment
+from repro.core.schema import MetricPair
+
+
+def make_experiment(level="R1", dataset="EEG", model="knn", scenario=Scenario.BD):
+    return RawExperiment(
+        level=level,
+        dataset=dataset,
+        error_type="outliers",
+        scenario=scenario,
+        detection="IQR",
+        repair="Mean",
+        ml_model=model,
+        pairs=(MetricPair(0.8, 0.85), MetricPair(0.79, 0.84), MetricPair(0.81, 0.8)),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        experiment = make_experiment()
+        rebuilt = experiment_from_dict(experiment_to_dict(experiment))
+        assert rebuilt == experiment
+
+    def test_file_round_trip(self, tmp_path):
+        experiments = [make_experiment(), make_experiment(model="xgboost")]
+        path = tmp_path / "results" / "study.json"
+        save_experiments(experiments, path)
+        assert load_experiments(path) == experiments
+
+    def test_r3_none_fields_survive(self, tmp_path):
+        experiment = RawExperiment(
+            level="R3", dataset="EEG", error_type="outliers",
+            scenario=Scenario.CD, detection=None, repair=None, ml_model=None,
+            pairs=(MetricPair(0.5, 0.6),),
+        )
+        path = tmp_path / "r3.json"
+        save_experiments([experiment], path)
+        loaded = load_experiments(path)[0]
+        assert loaded.detection is None and loaded.ml_model is None
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "experiments": []}))
+        with pytest.raises(ValueError):
+            load_experiments(path)
+
+
+class TestStudyReplay:
+    def test_saved_study_rebuilds_same_database(self, tmp_path):
+        study = CleanMLStudy(StudyConfig(n_splits=3))
+        study.raw_experiments = [
+            make_experiment(),
+            make_experiment(model="xgboost"),
+            make_experiment(level="R3", model=None),
+        ]
+        # normalize the R3 row's key fields
+        study.raw_experiments[2] = RawExperiment(
+            level="R3", dataset="EEG", error_type="outliers",
+            scenario=Scenario.BD, detection=None, repair=None, ml_model=None,
+            pairs=(MetricPair(0.8, 0.9), MetricPair(0.8, 0.9), MetricPair(0.8, 0.88)),
+        )
+        path = tmp_path / "study.json"
+        save_study(study, path)
+        reloaded = load_study(path, config=StudyConfig(n_splits=3))
+        original = study.build_database()
+        rebuilt = reloaded.build_database()
+        for name in ("R1", "R3"):
+            assert [r.flag for r in original[name]] == [
+                r.flag for r in rebuilt[name]
+            ]
+
+    def test_replay_with_different_procedure(self, tmp_path):
+        study = CleanMLStudy(StudyConfig(n_splits=3))
+        study.raw_experiments = [make_experiment()]
+        path = tmp_path / "study.json"
+        save_study(study, path)
+        reloaded = load_study(path)
+        relaxed = reloaded.build_database(procedure="none")
+        strict = reloaded.build_database(procedure="bonferroni")
+        assert len(relaxed["R1"]) == len(strict["R1"]) == 1
+
+
+class TestMerge:
+    def test_merges_disjoint_studies(self):
+        a = CleanMLStudy()
+        a.raw_experiments = [make_experiment(dataset="EEG")]
+        b = CleanMLStudy()
+        b.raw_experiments = [make_experiment(dataset="Sensor")]
+        merged = merge_studies([a, b])
+        assert len(merged.raw_experiments) == 2
+        database = merged.build_database()
+        assert len(database["R1"]) == 2
+
+    def test_rejects_duplicates(self):
+        a = CleanMLStudy()
+        a.raw_experiments = [make_experiment()]
+        b = CleanMLStudy()
+        b.raw_experiments = [make_experiment()]
+        with pytest.raises(ValueError):
+            merge_studies([a, b])

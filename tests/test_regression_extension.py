@@ -1,0 +1,137 @@
+"""Tests for the §VIII regression-task extension."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import ImputationCleaning, OutlierCleaning
+from repro.core import StudyConfig, run_regression_study
+from repro.core.regression import render_regression_results
+from repro.datasets import housing
+from repro.ml import KNNRegressor, RidgeRegression, mae, r2_score, rmse
+from repro.stats import Flag
+
+
+class TestRegressors:
+    def test_ridge_recovers_linear_relation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 + rng.normal(0, 0.01, 200)
+        model = RidgeRegression(alpha=1e-6).fit(X, y)
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.05)
+        assert model.coef_[1] == pytest.approx(-1.0, abs=0.05)
+        assert model.coef_[-1] == pytest.approx(0.5, abs=0.05)
+
+    def test_ridge_shrinks_with_alpha(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        y = 3.0 * X[:, 0]
+        loose = RidgeRegression(alpha=1e-6).fit(X, y)
+        tight = RidgeRegression(alpha=100.0).fit(X, y)
+        assert abs(tight.coef_[0]) < abs(loose.coef_[0])
+
+    def test_knn_regressor_local_average(self):
+        X = np.array([[0.0], [0.1], [10.0], [10.1]])
+        y = np.array([1.0, 2.0, 9.0, 10.0])
+        model = KNNRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict(np.array([[0.05]]))[0] == pytest.approx(1.5)
+        assert model.predict(np.array([[10.05]]))[0] == pytest.approx(9.5)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            RidgeRegression().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            KNNRegressor(n_neighbors=0)
+
+
+class TestRegressionMetrics:
+    def test_known_values(self):
+        assert rmse([1.0, 2.0], [1.0, 4.0]) == pytest.approx(np.sqrt(2.0))
+        assert mae([1.0, 2.0], [1.0, 4.0]) == pytest.approx(1.0)
+
+    def test_r2_perfect_and_baseline(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, [2.0, 2.0, 2.0]) == 0.0
+
+    def test_r2_constant_target(self):
+        assert r2_score([5.0, 5.0], [5.0, 4.0]) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            rmse([1.0], [1.0, 2.0])
+
+
+class TestHousingDataset:
+    def test_generates_with_numeric_target(self):
+        dataset = housing.generate(n_rows=200, seed=0)
+        assert dataset.dirty.schema.label == "price"
+        assert dataset.dirty.column("price").is_numeric
+        assert len(dataset.dirty.rows_with_missing()) > 0
+
+    def test_clean_version_is_predictable(self):
+        dataset = housing.generate(n_rows=300, seed=0)
+        from repro.table import FeatureEncoder, train_test_split
+
+        train, test = train_test_split(dataset.clean, seed=0)
+        encoder = FeatureEncoder().fit(train.features_table())
+        model = RidgeRegression().fit(
+            encoder.transform(train.features_table()),
+            np.asarray(train.labels, dtype=float),
+        )
+        predictions = model.predict(encoder.transform(test.features_table()))
+        assert r2_score(np.asarray(test.labels, dtype=float), predictions) > 0.8
+
+
+class TestRegressionStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        dataset = housing.generate(n_rows=250, seed=0)
+        config = StudyConfig(n_splits=5, seed=0)
+        return run_regression_study(
+            dataset,
+            "missing_values",
+            config,
+            methods=[ImputationCleaning("mean", "mode")],
+        )
+
+    def test_one_row_per_method_regressor(self, results):
+        assert len(results) == 2  # 1 method x 2 regressors
+        assert {row.regressor for row in results} == {"ridge", "knn"}
+
+    def test_flags_and_scores_valid(self, results):
+        for row in results:
+            assert isinstance(row.flag, Flag)
+            assert -1.0 <= row.mean_dirty_r2 <= 1.0
+            assert -1.0 <= row.mean_clean_r2 <= 1.0
+
+    def test_outlier_cleaning_helps_regression(self):
+        # squared loss amplifies outliers: IQR/median cleaning should
+        # raise R2 substantially on the corrupted driver column
+        dataset = housing.generate(n_rows=250, seed=0)
+        config = StudyConfig(n_splits=8, seed=0)
+        results = run_regression_study(
+            dataset,
+            "outliers",
+            config,
+            methods=[OutlierCleaning("IQR", "median")],
+            regressors=("ridge",),
+        )
+        row = results[0]
+        assert row.mean_clean_r2 > row.mean_dirty_r2
+
+    def test_mislabels_rejected(self):
+        dataset = housing.generate(n_rows=100, seed=0)
+        with pytest.raises(ValueError):
+            run_regression_study(dataset, "mislabels", StudyConfig(n_splits=2))
+
+    def test_unknown_regressor_rejected(self):
+        dataset = housing.generate(n_rows=100, seed=0)
+        with pytest.raises(ValueError):
+            run_regression_study(
+                dataset, "outliers", StudyConfig(n_splits=2),
+                regressors=("boosted",),
+            )
+
+    def test_render(self, results):
+        text = render_regression_results(results, title="Housing study")
+        assert "Housing study" in text and "ridge" in text

@@ -1,0 +1,82 @@
+"""Tests for result reporting and the NaN-preserving encoder mode."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CleanMLDatabase,
+    ExperimentRow,
+    Scenario,
+    dominant_pattern,
+    render_comparison_table,
+    render_summary_table,
+)
+from repro.stats import Flag
+from repro.table import FeatureEncoder, Table, make_schema
+
+
+class TestDominantPattern:
+    def test_single_dominant(self):
+        assert dominant_pattern({"P": 1, "S": 9, "N": 0}) == "Mostly S"
+
+    def test_two_way_pattern(self):
+        assert dominant_pattern({"P": 5, "S": 4, "N": 1}) == "Mostly P & S"
+
+    def test_empty(self):
+        assert dominant_pattern({}) == "no data"
+
+
+class TestSummaryTable:
+    def test_renders_only_observed_error_types(self):
+        database = CleanMLDatabase()
+        database["R1"].insert(
+            ExperimentRow(
+                dataset="EEG",
+                error_type="outliers",
+                scenario=Scenario.BD,
+                detection="SD",
+                repair="Mean",
+                ml_model="knn",
+                flag=Flag.POSITIVE,
+            )
+        )
+        text = render_summary_table(database)
+        assert "outliers" in text
+        assert "duplicates" not in text
+
+
+class TestComparisonTable:
+    def test_tuple_columns_joined(self):
+        class Row:
+            dataset = "Credit"
+            kinds = ("a", "b")
+            flag = Flag.NEGATIVE
+
+        text = render_comparison_table(
+            [Row()], title="T", columns=["dataset", "kinds"]
+        )
+        assert "a+b" in text and text.rstrip().endswith("N")
+
+
+class TestNaNEncoderMode:
+    def test_nan_mode_preserves_missing(self):
+        schema = make_schema(numeric=["a"], label="y")
+        table = Table.from_dict(
+            schema, {"a": [1.0, None, 3.0], "y": ["p", "n", "p"]}
+        )
+        encoder = FeatureEncoder(numeric_missing="nan")
+        matrix = encoder.fit_transform(table.features_table())
+        assert np.isnan(matrix[1, 0])
+        assert np.isfinite(matrix[0, 0])
+
+    def test_mean_mode_fills_missing(self):
+        schema = make_schema(numeric=["a"], label="y")
+        table = Table.from_dict(
+            schema, {"a": [1.0, None, 3.0], "y": ["p", "n", "p"]}
+        )
+        matrix = FeatureEncoder().fit_transform(table.features_table())
+        assert np.isfinite(matrix).all()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureEncoder(numeric_missing="drop")

@@ -1,0 +1,89 @@
+"""Property-based tests for the FDR procedures and flag pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    paired_t_test,
+    reject,
+)
+
+pvalue_arrays = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=60
+).map(np.array)
+
+
+class TestProcedureProperties:
+    @given(pvalues=pvalue_arrays, alpha=st.floats(0.01, 0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_conservativeness_ordering(self, pvalues, alpha):
+        """bonferroni <= by <= bh <= none, in rejection counts."""
+        none = (pvalues <= alpha).sum()
+        bh = benjamini_hochberg(pvalues, alpha).sum()
+        by = benjamini_yekutieli(pvalues, alpha).sum()
+        bonf = bonferroni(pvalues, alpha).sum()
+        assert bonf <= bh <= none
+        assert by <= bh
+
+    @given(pvalues=pvalue_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_alpha(self, pvalues):
+        """A larger alpha never rejects fewer hypotheses."""
+        for procedure in ("bonferroni", "bh", "by"):
+            small = reject(pvalues, alpha=0.01, procedure=procedure)
+            large = reject(pvalues, alpha=0.10, procedure=procedure)
+            assert np.all(large[small])  # small-alpha rejections survive
+
+    @given(pvalues=pvalue_arrays, alpha=st.floats(0.01, 0.2))
+    @settings(max_examples=40, deadline=None)
+    def test_rejecting_smaller_pvalues_first(self, pvalues, alpha):
+        """If p_i is rejected, every p_j <= p_i is rejected too."""
+        for procedure in ("bonferroni", "bh", "by"):
+            rejected = reject(pvalues, alpha=alpha, procedure=procedure)
+            if not rejected.any():
+                continue
+            threshold = pvalues[rejected].max()
+            assert np.all(rejected[pvalues < threshold])
+
+    @given(pvalues=pvalue_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_pvalues_always_rejected(self, pvalues):
+        pvalues = np.append(pvalues, 0.0)
+        for procedure in ("bonferroni", "bh", "by"):
+            rejected = reject(pvalues, alpha=0.05, procedure=procedure)
+            assert rejected[-1]
+
+
+class TestTTestProperties:
+    @given(
+        before=st.lists(st.floats(0.2, 0.9), min_size=5, max_size=25),
+        shift=st.floats(0.0, 0.05),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_larger_shifts_never_raise_upper_pvalue(self, before, shift, seed):
+        """Adding a uniform positive shift can only strengthen P(mu>0)."""
+        rng = np.random.default_rng(seed)
+        noise = rng.normal(0.0, 0.01, len(before))
+        base = np.clip(np.array(before) + noise, 0.0, 1.0)
+        small = paired_t_test(before, np.clip(base, 0, 1))
+        large = paired_t_test(before, np.clip(base + shift, 0, 1))
+        if shift > 1e-9 and not np.allclose(base, np.clip(base + shift, 0, 1)):
+            assert large.mean_difference >= small.mean_difference - 1e-9
+
+    @given(
+        metrics=st.lists(st.floats(0.1, 0.9), min_size=3, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pvalues_in_unit_interval(self, metrics):
+        rng = np.random.default_rng(0)
+        after = np.clip(
+            np.array(metrics) + rng.normal(0, 0.05, len(metrics)), 0, 1
+        )
+        result = paired_t_test(metrics, after)
+        for p in (result.p_two_sided, result.p_upper, result.p_lower):
+            assert 0.0 <= p <= 1.0

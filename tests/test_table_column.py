@@ -1,0 +1,102 @@
+"""Tests for repro.table.column."""
+
+import numpy as np
+import pytest
+
+from repro.table import Column, ColumnType
+
+
+def numeric(values):
+    return Column(values, ColumnType.NUMERIC)
+
+
+def categorical(values):
+    return Column(values, ColumnType.CATEGORICAL)
+
+
+class TestConstruction:
+    def test_numeric_none_becomes_nan(self):
+        col = numeric([1.0, None, 3.0])
+        assert np.isnan(col.values[1])
+        assert col.n_missing() == 1
+
+    def test_numeric_empty_string_becomes_nan(self):
+        col = numeric(["1.5", "", "2.5"])
+        assert np.isnan(col.values[1])
+        assert col.values[0] == 1.5
+
+    def test_categorical_none_and_nan_become_none(self):
+        col = categorical(["a", None, float("nan"), ""])
+        assert col.values[0] == "a"
+        assert col.values[1] is None
+        assert col.values[2] is None
+        assert col.values[3] is None
+
+    def test_categorical_coerces_to_str(self):
+        col = categorical([1, 2.5, "x"])
+        assert list(col.values) == ["1", "2.5", "x"]
+
+
+class TestStatistics:
+    def test_mean_median_std_ignore_missing(self):
+        col = numeric([1.0, None, 3.0])
+        assert col.mean() == 2.0
+        assert col.median() == 2.0
+        assert col.std() == 1.0
+
+    def test_quantile(self):
+        col = numeric(list(range(1, 101)))
+        assert col.quantile(0.25) == pytest.approx(25.75)
+        assert col.quantile(0.75) == pytest.approx(75.25)
+
+    def test_all_missing_statistics_are_nan(self):
+        col = numeric([None, None])
+        assert np.isnan(col.mean())
+        assert np.isnan(col.median())
+        assert np.isnan(col.std())
+
+    def test_mode_numeric(self):
+        assert numeric([1, 2, 2, 3]).mode() == 2.0
+
+    def test_mode_categorical_ties_prefer_first_occurrence(self):
+        assert categorical(["b", "a", "b", "a"]).mode() == "b"
+
+    def test_mode_all_missing(self):
+        assert categorical([None, None]).mode() is None
+        assert np.isnan(numeric([None]).mode())
+
+    def test_statistics_reject_categorical(self):
+        with pytest.raises(TypeError):
+            categorical(["a"]).mean()
+        with pytest.raises(TypeError):
+            categorical(["a"]).quantile(0.5)
+
+    def test_value_counts_sorted_by_frequency(self):
+        counts = categorical(["a", "b", "b", None]).value_counts()
+        assert list(counts.items()) == [("b", 2), ("a", 1)]
+
+    def test_unique_keeps_first_occurrence_order(self):
+        assert categorical(["c", "a", "c", "b"]).unique() == ["c", "a", "b"]
+
+
+class TestProtocol:
+    def test_take_selects_rows(self):
+        col = numeric([10, 20, 30])
+        taken = col.take([2, 0])
+        assert list(taken.values) == [30.0, 10.0]
+
+    def test_copy_is_independent(self):
+        col = numeric([1.0])
+        clone = col.copy()
+        clone.values[0] = 99.0
+        assert col.values[0] == 1.0
+
+    def test_equality_treats_nan_as_equal_missing(self):
+        assert numeric([1.0, None]) == numeric([1.0, None])
+        assert numeric([1.0, None]) != numeric([1.0, 2.0])
+        assert numeric([1.0]) != categorical(["1.0"])
+
+    def test_len_and_getitem(self):
+        col = categorical(["x", "y"])
+        assert len(col) == 2
+        assert col[1] == "y"

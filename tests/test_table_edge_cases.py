@@ -1,0 +1,73 @@
+"""Edge cases in the table substrate exercised by study internals."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    Column,
+    ColumnSpec,
+    ColumnType,
+    Table,
+    make_schema,
+)
+
+
+class TestZeroColumnTables:
+    def test_label_only_table_keeps_row_count(self):
+        schema = make_schema(label="y")
+        table = Table.from_dict(schema, {"y": ["a", "b", "c"]})
+        features = table.features_table()
+        assert features.n_columns == 0
+        assert features.n_rows == 3
+
+    def test_take_on_zero_column_table(self):
+        schema = make_schema(label="y")
+        table = Table.from_dict(schema, {"y": ["a", "b", "c"]})
+        features = table.features_table()
+        taken = features.take([0, 2])
+        assert taken.n_rows == 2
+
+    def test_n_rows_mismatch_rejected(self):
+        schema = make_schema(numeric=["x"])
+        with pytest.raises(ValueError):
+            Table(
+                schema,
+                {"x": Column([1.0, 2.0], ColumnType.NUMERIC)},
+                n_rows=5,
+            )
+
+
+class TestEmptySelections:
+    def test_take_nothing(self):
+        schema = make_schema(numeric=["x"], label="y")
+        table = Table.from_dict(schema, {"x": [1.0], "y": ["a"]})
+        empty = table.take([])
+        assert empty.n_rows == 0
+        assert empty.schema == table.schema
+
+    def test_mask_all_false(self):
+        schema = make_schema(numeric=["x"], label="y")
+        table = Table.from_dict(schema, {"x": [1.0, 2.0], "y": ["a", "b"]})
+        assert table.mask(np.array([False, False])).n_rows == 0
+
+    def test_statistics_on_empty_column(self):
+        column = Column([], ColumnType.NUMERIC)
+        assert np.isnan(column.mean())
+        assert column.value_counts() == {}
+        assert column.unique() == []
+
+
+class TestConcatEdges:
+    def test_concat_empty_with_full(self):
+        schema = make_schema(numeric=["x"], label="y")
+        table = Table.from_dict(schema, {"x": [1.0, 2.0], "y": ["a", "b"]})
+        merged = table.take([]).concat(table)
+        assert merged == table
+
+    def test_row_dict_round_trip_with_missing(self):
+        schema = make_schema(numeric=["x"], categorical=["c"], label="y")
+        table = Table.from_dict(
+            schema, {"x": [None], "c": [None], "y": ["a"]}
+        )
+        rebuilt = Table.from_rows(schema, table.rows())
+        assert rebuilt == table

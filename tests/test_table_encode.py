@@ -1,0 +1,112 @@
+"""Tests for repro.table.encode."""
+
+import numpy as np
+import pytest
+
+from repro.table import (
+    FeatureEncoder,
+    LabelEncoder,
+    Table,
+    encode_pair,
+    make_schema,
+)
+
+
+@pytest.fixture
+def labeled():
+    schema = make_schema(numeric=["a"], categorical=["c"], label="y")
+    return Table.from_dict(
+        schema,
+        {
+            "a": [1.0, 2.0, 3.0, 4.0],
+            "c": ["x", "y", "x", "z"],
+            "y": ["pos", "neg", "pos", "neg"],
+        },
+    )
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        encoder = LabelEncoder()
+        ids = encoder.fit_transform(["b", "a", "b"])
+        assert list(ids) == [0, 1, 0]
+        assert encoder.inverse_transform(ids) == ["b", "a", "b"]
+        assert encoder.n_classes == 2
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError):
+            encoder.transform(["b"])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            LabelEncoder().fit([])
+
+
+class TestFeatureEncoder:
+    def test_standardizes_numeric_on_train_stats(self, labeled):
+        features = labeled.features_table()
+        encoder = FeatureEncoder().fit(features)
+        matrix = encoder.transform(features)
+        numeric = matrix[:, 0]
+        assert numeric.mean() == pytest.approx(0.0, abs=1e-12)
+        assert numeric.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_one_hot_uses_train_vocabulary(self, labeled):
+        features = labeled.features_table()
+        encoder = FeatureEncoder().fit(features)
+        assert encoder.feature_names_ == ["a", "c=x", "c=y", "c=z"]
+        matrix = encoder.transform(features)
+        assert matrix.shape == (4, 4)
+        assert matrix[0, 1] == 1.0 and matrix[1, 2] == 1.0
+
+    def test_unseen_category_encodes_as_zeros(self, labeled):
+        features = labeled.features_table()
+        encoder = FeatureEncoder().fit(features)
+        other = Table.from_dict(
+            features.schema, {"a": [2.0], "c": ["UNSEEN"]}
+        )
+        row = encoder.transform(other)
+        assert np.all(row[0, 1:] == 0.0)
+
+    def test_missing_numeric_maps_to_zero_after_standardization(self, labeled):
+        features = labeled.features_table()
+        encoder = FeatureEncoder().fit(features)
+        other = Table.from_dict(features.schema, {"a": [None], "c": ["x"]})
+        row = encoder.transform(other)
+        assert row[0, 0] == pytest.approx(0.0)
+
+    def test_constant_column_gets_unit_std(self):
+        schema = make_schema(numeric=["a"])
+        table = Table.from_dict(schema, {"a": [5.0, 5.0, 5.0]})
+        matrix = FeatureEncoder().fit_transform(table)
+        assert np.all(matrix == 0.0)
+
+    def test_transform_before_fit_raises(self, labeled):
+        with pytest.raises(RuntimeError):
+            FeatureEncoder().transform(labeled.features_table())
+
+    def test_no_feature_columns(self):
+        schema = make_schema(label="y")
+        table = Table.from_dict(schema, {"y": ["a", "b"]})
+        matrix = FeatureEncoder().fit_transform(table.features_table())
+        assert matrix.shape == (2, 0)
+
+
+class TestEncodePair:
+    def test_shapes_and_label_union(self, labeled):
+        train = labeled.take([0, 1])
+        test = labeled.take([2, 3])
+        x_train, y_train, x_test, y_test, labeler = encode_pair(train, test)
+        assert x_train.shape[0] == 2 and x_test.shape[0] == 2
+        assert x_train.shape[1] == x_test.shape[1]
+        assert labeler.n_classes == 2
+        assert set(y_train.tolist() + y_test.tolist()) <= {0, 1}
+
+    def test_test_only_class_still_encoded(self):
+        schema = make_schema(numeric=["a"], label="y")
+        train = Table.from_dict(schema, {"a": [1, 2], "y": ["u", "u"]})
+        test = Table.from_dict(schema, {"a": [3], "y": ["v"]})
+        _, y_train, _, y_test, labeler = encode_pair(train, test)
+        assert labeler.n_classes == 2
+        assert y_test[0] != y_train[0]

@@ -1,0 +1,93 @@
+"""Tests for hidden (bookkeeping) columns across the table substrate."""
+
+import pytest
+
+from repro.table import (
+    ColumnSpec,
+    ColumnType,
+    FeatureEncoder,
+    Schema,
+    Table,
+    make_schema,
+    read_csv,
+    write_csv,
+)
+
+
+@pytest.fixture
+def table():
+    schema = make_schema(
+        numeric=["x", "__row_id__"],
+        categorical=["c"],
+        label="y",
+        hidden=("__row_id__",),
+    )
+    return Table.from_dict(
+        schema,
+        {
+            "x": [1.0, 2.0],
+            "c": ["a", "b"],
+            "y": ["p", "n"],
+            "__row_id__": [0, 1],
+        },
+    )
+
+
+class TestSchemaRoles:
+    def test_hidden_excluded_from_features(self, table):
+        assert table.schema.feature_names == ["x", "c"]
+        assert table.schema.numeric_features == ["x"]
+
+    def test_hidden_must_exist(self):
+        with pytest.raises(ValueError):
+            Schema(
+                columns=(ColumnSpec("a", ColumnType.NUMERIC),),
+                hidden=("ghost",),
+            )
+
+    def test_label_cannot_be_hidden(self):
+        with pytest.raises(ValueError):
+            make_schema(categorical=["y"], label="y", hidden=("y",))
+
+    def test_with_hidden(self, table):
+        extended = table.schema.with_hidden(("__row_id__",))
+        assert extended.hidden == ("__row_id__",)
+
+
+class TestEncoderIgnoresHidden:
+    def test_matrix_excludes_hidden_column(self, table):
+        encoder = FeatureEncoder().fit(table.features_table())
+        assert encoder.feature_names_ == ["x", "c=a", "c=b"]
+        matrix = encoder.transform(table.features_table())
+        assert matrix.shape == (2, 3)
+
+
+class TestOperationsPreserveHidden:
+    def test_survives_take_and_drop(self, table):
+        taken = table.take([1])
+        assert taken.schema.hidden == ("__row_id__",)
+        dropped = table.drop_columns(["c"])
+        assert dropped.schema.hidden == ("__row_id__",)
+
+    def test_dropping_hidden_column_clears_role(self, table):
+        dropped = table.drop_columns(["__row_id__"])
+        assert dropped.schema.hidden == ()
+
+    def test_add_column_keeps_hidden(self, table):
+        extended = table.add_column(
+            ColumnSpec("extra", ColumnType.NUMERIC), [1.0, 2.0]
+        )
+        assert extended.schema.hidden == ("__row_id__",)
+
+    def test_missing_hidden_cells_do_not_flag_rows(self, table):
+        broken = table.with_values("__row_id__", [None, 1])
+        assert list(broken.rows_with_missing()) == []
+
+
+class TestCsvRoundTrip:
+    def test_hidden_flag_survives(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.schema.hidden == ("__row_id__",)
+        assert loaded == table

@@ -1,0 +1,82 @@
+"""Tests for repro.table.io (CSV round trips)."""
+
+import pytest
+
+from repro.table import Table, make_schema, read_csv, write_csv
+
+
+@pytest.fixture
+def table():
+    schema = make_schema(
+        numeric=["age", "income"],
+        categorical=["city"],
+        label="y",
+        keys=("city",),
+    )
+    return Table.from_dict(
+        schema,
+        {
+            "age": [25.5, None, 40.0],
+            "income": [1000.0, 2000.0, None],
+            "city": ["NY", None, "SF,east"],
+            "y": ["yes", "no", "yes"],
+        },
+    )
+
+
+def test_round_trip_preserves_everything(tmp_path, table):
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded == table
+    assert loaded.schema.label == "y"
+    assert loaded.schema.keys == ("city",)
+
+
+def test_missing_cells_survive_round_trip(tmp_path, table):
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded.column("age").n_missing() == 1
+    assert loaded.column("city").values[1] is None
+
+
+def test_commas_in_values_are_quoted(tmp_path, table):
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    loaded = read_csv(path)
+    assert loaded.column("city").values[2] == "SF,east"
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_bad_header_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("no_type_suffix\n1\n")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_unknown_type_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a:weird\n1\n")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_ragged_row_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a:numeric,b:numeric\n1\n")
+    with pytest.raises(ValueError):
+        read_csv(path)
+
+
+def test_write_creates_parent_directories(tmp_path, table):
+    path = tmp_path / "nested" / "dir" / "t.csv"
+    write_csv(table, path)
+    assert path.exists()

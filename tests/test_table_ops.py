@@ -1,0 +1,82 @@
+"""Tests for repro.table.ops."""
+
+import pytest
+
+from repro.table import (
+    Table,
+    class_distribution,
+    filter_rows,
+    group_indices,
+    group_sizes,
+    is_imbalanced,
+    majority_class,
+    make_schema,
+    minority_class,
+    sort_by,
+    summarize,
+)
+
+
+@pytest.fixture
+def table():
+    schema = make_schema(numeric=["x"], categorical=["g"], label="y")
+    return Table.from_dict(
+        schema,
+        {
+            "x": [3.0, 1.0, None, 2.0],
+            "g": ["a", "b", "a", None],
+            "y": ["p", "p", "p", "n"],
+        },
+    )
+
+
+def test_filter_rows(table):
+    kept = filter_rows(table, lambda row: row["x"] is not None and row["x"] >= 2)
+    assert kept.n_rows == 2
+    assert sorted(kept.column("x").values.tolist()) == [2.0, 3.0]
+
+
+def test_sort_by_numeric_missing_last(table):
+    ordered = sort_by(table, "x")
+    assert ordered.column("x").values.tolist()[:3] == [1.0, 2.0, 3.0]
+    assert ordered.row(3)["x"] is None
+
+
+def test_sort_by_numeric_descending_missing_last(table):
+    ordered = sort_by(table, "x", descending=True)
+    assert ordered.column("x").values.tolist()[:3] == [3.0, 2.0, 1.0]
+    assert ordered.row(3)["x"] is None
+
+
+def test_sort_by_categorical(table):
+    ordered = sort_by(table, "g")
+    values = [ordered.row(i)["g"] for i in range(4)]
+    assert values == ["a", "a", "b", None]
+
+
+def test_group_sizes_and_indices(table):
+    sizes = group_sizes(table, ["g"])
+    assert sizes[("a",)] == 2
+    assert sizes[(None,)] == 1
+    groups = group_indices(table, ["g"])
+    assert groups[("a",)] == [0, 2]
+
+
+def test_class_distribution_and_majority(table):
+    dist = class_distribution(table)
+    assert dist["p"] == pytest.approx(0.75)
+    assert majority_class(table) == "p"
+    assert minority_class(table) == "n"
+
+
+def test_is_imbalanced(table):
+    assert is_imbalanced(table, threshold=0.65)
+    assert not is_imbalanced(table, threshold=0.80)
+
+
+def test_summarize(table):
+    info = summarize(table)
+    assert info["x"]["missing"] == 1
+    assert info["x"]["min"] == 1.0 and info["x"]["max"] == 3.0
+    assert info["g"]["n_unique"] == 2
+    assert info["y"]["type"] == "categorical"

@@ -1,0 +1,68 @@
+"""Tests for repro.table.schema."""
+
+import pytest
+
+from repro.table import ColumnSpec, ColumnType, Schema, make_schema
+
+
+def test_make_schema_orders_numeric_then_categorical():
+    schema = make_schema(numeric=["a", "b"], categorical=["c"], label="y")
+    assert schema.names == ["a", "b", "c", "y"]
+    assert schema.ctype("a") is ColumnType.NUMERIC
+    assert schema.ctype("c") is ColumnType.CATEGORICAL
+    assert schema.ctype("y") is ColumnType.CATEGORICAL
+
+
+def test_label_and_keys_must_exist():
+    with pytest.raises(ValueError):
+        Schema(columns=(ColumnSpec("a", ColumnType.NUMERIC),), label="y")
+    with pytest.raises(ValueError):
+        Schema(columns=(ColumnSpec("a", ColumnType.NUMERIC),), keys=("k",))
+
+
+def test_duplicate_column_names_rejected():
+    with pytest.raises(ValueError):
+        Schema(
+            columns=(
+                ColumnSpec("a", ColumnType.NUMERIC),
+                ColumnSpec("a", ColumnType.CATEGORICAL),
+            )
+        )
+
+
+def test_feature_name_views_exclude_label():
+    schema = make_schema(numeric=["x1"], categorical=["x2"], label="y")
+    assert schema.feature_names == ["x1", "x2"]
+    assert schema.numeric_features == ["x1"]
+    assert schema.categorical_features == ["x2"]
+
+
+def test_numeric_label_excluded_from_numeric_features():
+    schema = make_schema(
+        numeric=["x1"], label="y", label_type=ColumnType.NUMERIC
+    )
+    assert schema.numeric_features == ["x1"]
+
+
+def test_spec_lookup_and_contains():
+    schema = make_schema(numeric=["a"], label="y")
+    assert schema.spec("a").is_numeric
+    assert "a" in schema
+    assert "zzz" not in schema
+    with pytest.raises(KeyError):
+        schema.spec("zzz")
+
+
+def test_drop_removes_columns_and_roles():
+    schema = make_schema(numeric=["a", "b"], label="y", keys=("a",))
+    dropped = schema.drop(["a"])
+    assert dropped.names == ["b", "y"]
+    assert dropped.keys == ()
+    no_label = schema.drop(["y"])
+    assert no_label.label is None
+
+
+def test_rename_label():
+    schema = make_schema(numeric=["a"], categorical=["c"], label="c")
+    assert schema.rename_label(None).label is None
+    assert schema.rename_label("c").label == "c"

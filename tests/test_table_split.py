@@ -1,0 +1,106 @@
+"""Tests for repro.table.split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.table import (
+    Table,
+    kfold_indices,
+    make_schema,
+    split_indices,
+    stratified_split_indices,
+    train_test_split,
+)
+
+
+def make_table(n):
+    schema = make_schema(numeric=["x"], label="y")
+    return Table.from_dict(
+        schema, {"x": list(range(n)), "y": ["a" if i % 2 else "b" for i in range(n)]}
+    )
+
+
+class TestSplitIndices:
+    def test_partition_is_disjoint_and_complete(self):
+        rng = np.random.default_rng(0)
+        train, test = split_indices(100, 0.3, rng)
+        assert len(train) == 70 and len(test) == 30
+        assert set(train) | set(test) == set(range(100))
+        assert set(train) & set(test) == set()
+
+    def test_minimum_sizes_respected(self):
+        rng = np.random.default_rng(0)
+        train, test = split_indices(2, 0.01, rng)
+        assert len(test) == 1 and len(train) == 1
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            split_indices(10, 0.0, rng)
+        with pytest.raises(ValueError):
+            split_indices(1, 0.3, rng)
+
+    @given(n=st.integers(2, 300), ratio=st.floats(0.05, 0.95), seed=st.integers(0, 99))
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition(self, n, ratio, seed):
+        rng = np.random.default_rng(seed)
+        train, test = split_indices(n, ratio, rng)
+        assert len(train) + len(test) == n
+        assert len(train) >= 1 and len(test) >= 1
+        assert set(train).isdisjoint(test)
+
+
+class TestTrainTestSplit:
+    def test_seed_reproducibility(self):
+        table = make_table(50)
+        a_train, a_test = train_test_split(table, seed=7)
+        b_train, b_test = train_test_split(table, seed=7)
+        assert a_train == b_train and a_test == b_test
+
+    def test_different_seed_differs(self):
+        table = make_table(50)
+        a_train, _ = train_test_split(table, seed=1)
+        b_train, _ = train_test_split(table, seed=2)
+        assert a_train != b_train
+
+    def test_ratio(self):
+        train, test = train_test_split(make_table(100), test_ratio=0.3, seed=0)
+        assert train.n_rows == 70 and test.n_rows == 30
+
+
+class TestKFold:
+    def test_folds_partition_rows(self):
+        rng = np.random.default_rng(0)
+        pairs = kfold_indices(53, 5, rng)
+        assert len(pairs) == 5
+        all_val = np.concatenate([val for _, val in pairs])
+        assert sorted(all_val) == list(range(53))
+        for train, val in pairs:
+            assert set(train).isdisjoint(val)
+            assert len(train) + len(val) == 53
+
+    def test_invalid_folds(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kfold_indices(10, 1, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 5, rng)
+
+
+class TestStratified:
+    def test_each_class_on_both_sides(self):
+        labels = np.array(["a"] * 90 + ["b"] * 10, dtype=object)
+        rng = np.random.default_rng(0)
+        train, test = stratified_split_indices(labels, 0.3, rng)
+        assert set(train) | set(test) == set(range(100))
+        assert "b" in labels[train] and "b" in labels[test]
+
+    def test_ratio_approximately_kept_per_class(self):
+        labels = np.array(["a"] * 80 + ["b"] * 20, dtype=object)
+        rng = np.random.default_rng(1)
+        _, test = stratified_split_indices(labels, 0.25, rng)
+        test_labels = labels[test].tolist()
+        assert test_labels.count("a") == 20
+        assert test_labels.count("b") == 5

@@ -1,0 +1,142 @@
+"""Tests for repro.table.table."""
+
+import numpy as np
+import pytest
+
+from repro.table import Column, ColumnSpec, ColumnType, Table, make_schema
+
+
+@pytest.fixture
+def small():
+    schema = make_schema(
+        numeric=["age"], categorical=["city"], label="y", keys=("city",)
+    )
+    return Table.from_dict(
+        schema,
+        {
+            "age": [25, None, 40, 31],
+            "city": ["NY", "SF", None, "NY"],
+            "y": ["yes", "no", "yes", "no"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_from_rows_matches_from_dict(self, small):
+        rebuilt = Table.from_rows(small.schema, small.rows())
+        assert rebuilt == small
+
+    def test_rejects_missing_columns(self, small):
+        with pytest.raises(ValueError):
+            Table(small.schema, {"age": Column([1], ColumnType.NUMERIC)})
+
+    def test_rejects_ragged_columns(self, small):
+        columns = {
+            "age": Column([1], ColumnType.NUMERIC),
+            "city": Column(["a", "b"], ColumnType.CATEGORICAL),
+            "y": Column(["x", "y"], ColumnType.CATEGORICAL),
+        }
+        with pytest.raises(ValueError):
+            Table(small.schema, columns)
+
+    def test_rejects_wrong_column_type(self, small):
+        columns = {
+            "age": Column(["a", "b", "c", "d"], ColumnType.CATEGORICAL),
+            "city": Column(["a", "b", "c", "d"], ColumnType.CATEGORICAL),
+            "y": Column(["a", "b", "c", "d"], ColumnType.CATEGORICAL),
+        }
+        with pytest.raises(ValueError):
+            Table(small.schema, columns)
+
+
+class TestRowOps:
+    def test_row_converts_nan_to_none(self, small):
+        assert small.row(1) == {"age": None, "city": "SF", "y": "no"}
+
+    def test_take_preserves_order(self, small):
+        taken = small.take([3, 0])
+        assert taken.row(0)["age"] == 31
+        assert taken.row(1)["age"] == 25
+
+    def test_mask_and_drop_rows(self, small):
+        masked = small.mask(np.array([True, False, True, False]))
+        assert masked.n_rows == 2
+        dropped = small.drop_rows([0, 2])
+        assert dropped.n_rows == 2
+        assert dropped.row(0)["city"] == "SF"
+
+    def test_mask_length_checked(self, small):
+        with pytest.raises(ValueError):
+            small.mask(np.array([True]))
+
+    def test_concat(self, small):
+        doubled = small.concat(small)
+        assert doubled.n_rows == 8
+        assert doubled.row(4) == small.row(0)
+
+    def test_concat_schema_mismatch(self, small):
+        other = small.drop_columns(["age"])
+        with pytest.raises(ValueError):
+            small.concat(other)
+
+
+class TestColumnOps:
+    def test_with_values_replaces_column(self, small):
+        updated = small.with_values("age", [1, 2, 3, 4])
+        assert updated.column("age").mean() == 2.5
+        assert small.column("age").n_missing() == 1  # original untouched
+
+    def test_with_column_type_checked(self, small):
+        with pytest.raises(ValueError):
+            small.with_column("age", Column(["a"] * 4, ColumnType.CATEGORICAL))
+
+    def test_with_column_length_checked(self, small):
+        with pytest.raises(ValueError):
+            small.with_column("age", Column([1.0], ColumnType.NUMERIC))
+
+    def test_drop_columns(self, small):
+        dropped = small.drop_columns(["city"])
+        assert dropped.schema.names == ["age", "y"]
+        assert dropped.schema.keys == ()
+
+    def test_add_column(self, small):
+        extended = small.add_column(
+            ColumnSpec("score", ColumnType.NUMERIC), [1, 2, 3, 4]
+        )
+        assert extended.schema.names[-1] == "score"
+        with pytest.raises(ValueError):
+            extended.add_column(ColumnSpec("score", ColumnType.NUMERIC), [0] * 4)
+
+    def test_unknown_column_raises(self, small):
+        with pytest.raises(KeyError):
+            small.column("nope")
+
+
+class TestLabels:
+    def test_labels_and_features_table(self, small):
+        assert list(small.labels) == ["yes", "no", "yes", "no"]
+        features = small.features_table()
+        assert features.schema.names == ["age", "city"]
+        assert features.schema.label is None
+
+    def test_replace_labels(self, small):
+        relabeled = small.replace_labels(["no"] * 4)
+        assert set(relabeled.labels) == {"no"}
+
+    def test_unlabeled_table_raises(self, small):
+        features = small.features_table()
+        with pytest.raises(ValueError):
+            _ = features.labels
+
+
+class TestMissing:
+    def test_missing_mask_shape(self, small):
+        mask = small.missing_mask()
+        assert mask.shape == (4, 3)
+        assert mask.sum() == 2
+
+    def test_rows_with_missing_only_considers_features(self, small):
+        assert list(small.rows_with_missing()) == [1, 2]
+
+    def test_n_missing_cells(self, small):
+        assert small.n_missing_cells() == 2

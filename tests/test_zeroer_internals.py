@@ -1,0 +1,65 @@
+"""Unit tests for ZeroER's internal machinery (seeding, EM regimes)."""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import TwoComponentGaussianMixture
+from repro.cleaning.zeroer import _gap_seed_count
+
+
+class TestGapSeeding:
+    def test_finds_clear_gap(self):
+        # 95 background pairs near 0.1, 5 duplicates near 0.9
+        similarity = np.sort(
+            np.concatenate([np.linspace(0.05, 0.15, 95), np.full(5, 0.9)])
+        )
+        assert _gap_seed_count(similarity) == 5
+
+    def test_minimum_two_seeds(self):
+        similarity = np.sort(np.linspace(0.0, 1.0, 50))
+        assert _gap_seed_count(similarity) >= 2
+
+    def test_gap_at_tail_boundary(self):
+        # gap right at the 5% boundary: everything above it is the seed
+        similarity = np.sort(
+            np.concatenate([np.linspace(0.0, 0.2, 98), [0.8, 0.81]])
+        )
+        assert _gap_seed_count(similarity) == 2
+
+
+class TestMixtureRegimes:
+    def make_data(self, seed=0):
+        rng = np.random.default_rng(seed)
+        background = rng.normal(0.1, 0.03, size=(300, 4))
+        matches = rng.normal(0.85, 0.03, size=(6, 4))
+        return np.vstack([background, matches])
+
+    def test_weights_only_regime_keeps_seeded_means(self):
+        X = self.make_data()
+        mixture = TwoComponentGaussianMixture(
+            update="weights", seed_fraction=None
+        ).fit(X)
+        # the match component mean stays near the seeded high-similarity side
+        match = int(np.argmax(mixture.means.mean(axis=1)))
+        assert mixture.means[match].mean() > 0.7
+
+    def test_full_em_regime_still_separates(self):
+        X = self.make_data()
+        mixture = TwoComponentGaussianMixture(update="all").fit(X)
+        posterior = mixture.match_posterior(X)
+        assert posterior[-6:].mean() > 0.9
+        assert posterior[:300].mean() < 0.1
+
+    def test_invalid_update_regime(self):
+        with pytest.raises(ValueError):
+            TwoComponentGaussianMixture(update="means")
+
+    def test_weights_regime_posterior_flags_only_matches(self):
+        X = self.make_data(seed=1)
+        mixture = TwoComponentGaussianMixture(
+            update="weights", seed_fraction=None
+        ).fit(X)
+        posterior = mixture.match_posterior(X)
+        flagged = posterior > 0.9
+        assert flagged[-6:].all()
+        assert flagged[:300].sum() <= 3  # at most a stray background pair
