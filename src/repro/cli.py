@@ -9,7 +9,9 @@ Usage::
 
 Options mirror :class:`~repro.core.StudyConfig`; the defaults are a fast
 laptop configuration, ``--paper`` switches to the paper's full protocol
-(20 splits, 5-fold CV, all models).
+(20 splits, 5-fold CV, all models).  ``--jobs N`` runs splits across N
+worker processes with bit-identical results, and ``--checkpoint PATH``
+records completed splits so an interrupted run resumes where it stopped.
 """
 
 from __future__ import annotations
@@ -64,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="the paper's protocol: 20 splits, 5-fold CV, all models")
     run.add_argument("--fdr", default="by",
                      choices=("none", "bonferroni", "bh", "by"))
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes; results are bit-identical "
+                          "for any job count")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="task-ledger file: completed splits recorded "
+                          "there are skipped, new ones appended (resume "
+                          "an interrupted run by repeating the command)")
     return parser
 
 
@@ -102,6 +111,9 @@ def command_describe(args) -> int:
 
 def command_run(args) -> int:
     """Run a study and print all applicable Q1-Q5 reports."""
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
     if args.paper:
         config = StudyConfig(
             n_splits=20, cv_folds=5, seed=args.seed,
@@ -143,7 +155,9 @@ def command_run(args) -> int:
             continue
         study.add(dataset, args.error_type)
     database = study.run(
-        progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr)
+        progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr),
+        n_jobs=args.jobs,
+        checkpoint=args.checkpoint,
     )
     print(render_error_type_report(database, args.error_type))
     sizes = relation_sizes(database)

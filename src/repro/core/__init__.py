@@ -6,11 +6,23 @@ from .active import (
     render_effort_curves,
     run_effort_study,
 )
+from .executor import (
+    SplitTask,
+    StudyBlock,
+    build_task_graph,
+    execute_study,
+    execute_task,
+    study_fingerprint,
+)
 from .humanclean import HumanCleaningComparison, human_cleaner, run_human_study
 from .mixed import MixedComparison, method_space, run_mixed_study
 from .persistence import (
+    CheckpointError,
+    append_checkpoint,
+    load_checkpoint,
     load_experiments,
     load_study,
+    merge_checkpoints,
     merge_studies,
     save_experiments,
     save_study,
@@ -43,9 +55,11 @@ from .robustml import RobustMLComparison, run_robustml_study
 from .runner import (
     ErrorTypeRun,
     RawExperiment,
+    SplitResult,
     StudyConfig,
     TrainedModel,
     derive_seed,
+    merge_split_results,
     scenarios_for,
 )
 from .schema import (
@@ -61,6 +75,7 @@ from .techreport import generate_report, write_report
 
 __all__ = [
     "BestCleaned",
+    "CheckpointError",
     "CleanMLDatabase",
     "CleanMLStudy",
     "EffortCurve",
@@ -77,16 +92,26 @@ __all__ = [
     "Relation",
     "RobustMLComparison",
     "Scenario",
+    "SplitResult",
+    "SplitTask",
+    "StudyBlock",
     "StudyConfig",
     "TrainedModel",
     "all_queries",
+    "append_checkpoint",
+    "build_task_graph",
     "derive_seed",
     "dominant_pattern",
+    "execute_study",
+    "execute_task",
     "format_distribution",
     "generate_report",
     "human_cleaner",
+    "load_checkpoint",
     "load_experiments",
     "load_study",
+    "merge_checkpoints",
+    "merge_split_results",
     "merge_studies",
     "method_space",
     "q1",
@@ -110,5 +135,6 @@ __all__ = [
     "save_experiments",
     "save_study",
     "scenarios_for",
+    "study_fingerprint",
     "write_report",
 ]

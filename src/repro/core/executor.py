@@ -1,0 +1,277 @@
+"""Parallel study execution — the split-level task graph.
+
+The paper's full grid (§IV-A) is thousands of model trainings, but its
+structure is embarrassingly parallel: every random draw in a study
+derives from ``derive_seed(config.seed, dataset, ..., split)``, so one
+split of one (dataset, error-type) block is a pure function of its task
+key.  This module decomposes a study into those tasks, executes them
+across a :class:`~concurrent.futures.ProcessPoolExecutor`, and merges
+the per-task :class:`~repro.core.runner.SplitResult`s deterministically.
+
+Determinism guarantee
+---------------------
+``n_jobs=k`` produces **bit-identical** :class:`RawExperiment`s (and
+hence identical flags, database rows, and persisted JSON) for every
+``k``:
+
+* each task re-derives the same seeds the sequential runner would use —
+  the split index, not the execution order, enters ``derive_seed``;
+* the dirty-side models of a split are trained once *within* its task
+  and shared across cleaning methods, exactly as the sequential runner
+  shares them;
+* the merge sorts results by split index and is keyed by spec tuple, so
+  worker completion order never reaches the output.
+
+Checkpointing
+-------------
+Pass ``checkpoint=<path>`` to record every completed task to a JSONL
+file (:mod:`repro.core.persistence`).  A rerun with the same path skips
+completed task keys and resumes with the remaining splits; resumed
+studies are bit-identical to uninterrupted ones because checkpointed
+floats round-trip exactly through JSON.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from ..cleaning.base import CleaningMethod
+from ..datasets.base import Dataset
+from .runner import (
+    ErrorTypeRun,
+    RawExperiment,
+    SplitResult,
+    StudyConfig,
+    merge_split_results,
+)
+
+#: (dataset name, error type, split index) — the executor's unit of work
+TaskKey = tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class StudyBlock:
+    """One queued (dataset, error type) block of a study."""
+
+    dataset: Dataset
+    error_type: str
+    methods: tuple[CleaningMethod, ...] | None = None
+
+
+@dataclass(frozen=True)
+class SplitTask:
+    """One executable node of the task graph: one split of one block.
+
+    Carries everything a worker process needs (tasks are pickled to
+    workers whole), so execution never depends on parent-process state.
+    """
+
+    dataset: Dataset
+    error_type: str
+    config: StudyConfig
+    methods: tuple[CleaningMethod, ...] | None
+    split: int
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.dataset.name, self.error_type, self.split)
+
+
+def build_task_graph(
+    blocks: list[StudyBlock], config: StudyConfig
+) -> list[SplitTask]:
+    """Decompose queued blocks into one task per split per block."""
+    keys = [(block.dataset.name, block.error_type) for block in blocks]
+    if len(set(keys)) != len(keys):
+        raise ValueError(
+            "duplicate (dataset, error type) blocks cannot share a task "
+            f"graph: {keys}"
+        )
+    return [
+        SplitTask(
+            dataset=block.dataset,
+            error_type=block.error_type,
+            config=config,
+            methods=block.methods,
+            split=split,
+        )
+        for block in blocks
+        for split in range(config.n_splits)
+    ]
+
+
+def _scalar_attrs(obj, depth: int = 1, prefix: str = "") -> list[str]:
+    """Scalar instance attributes of ``obj``, recursing one level.
+
+    One level of recursion reaches the helper objects cleaning methods
+    commonly delegate to (e.g. an outlier cleaner's detector carrying
+    ``random_state``); deeper nesting and non-scalar values are skipped
+    because their reprs are not stable across processes.
+    """
+    parts: list[str] = []
+    for name, value in sorted(vars(obj).items()):
+        if value is None or isinstance(value, (bool, int, float, str, tuple)):
+            parts.append(f"{prefix}{name}={value!r}")
+        elif depth > 0 and hasattr(value, "__dict__"):
+            parts.extend(_scalar_attrs(value, depth - 1, f"{prefix}{name}."))
+    return parts
+
+
+def _method_signature(method: CleaningMethod) -> str:
+    """Identifier of one cleaning method, including scalar parameters.
+
+    Captures the constructor-level knobs that change results (detector
+    thresholds, random states, strategies) so a checkpoint resume with
+    reconfigured methods is refused, not silently merged.
+    """
+    return f"{type(method).__name__}:{method.name}({','.join(_scalar_attrs(method))})"
+
+
+def _block_signature(block: StudyBlock) -> str:
+    """Identifier of a block's dataset shape and cleaning-method list.
+
+    The dirty table's row/column counts catch the most common dataset
+    drift between resumed runs — re-generating with a different
+    ``n_rows`` — which dataset *names* alone cannot see.
+    """
+    dirty = block.dataset.dirty
+    shape = f"{dirty.n_rows}x{len(dirty.schema.names)}"
+    if block.methods is None:
+        methods = "<registry>"
+    else:
+        methods = ",".join(_method_signature(method) for method in block.methods)
+    return f"{block.dataset.name}[{shape}]:{block.error_type}={methods}"
+
+
+def study_fingerprint(blocks: list[StudyBlock], config: StudyConfig) -> str:
+    """Stable identifier of everything that shapes a study's task results.
+
+    Combines :meth:`StudyConfig.fingerprint` with each block's dataset
+    shape and explicit cleaning-method list (or a registry marker), so
+    a checkpoint ledger refuses resumes whose protocol, datasets, or
+    methods drifted.  One ledger therefore serves one study definition;
+    shard different studies into different ledgers and combine them
+    with :func:`~repro.core.persistence.merge_checkpoints`.
+    """
+    parts = [config.fingerprint()]
+    for block in sorted(blocks, key=lambda b: (b.dataset.name, b.error_type)):
+        parts.append(_block_signature(block))
+    return "||".join(parts)
+
+
+def execute_task(task: SplitTask) -> tuple[TaskKey, SplitResult]:
+    """Run one task: the worker-process entry point.
+
+    The runner deep-copies explicit method lists per split, so a task
+    always fits pristine method objects — in-process and worker-process
+    execution are indistinguishable.
+    """
+    run = ErrorTypeRun(
+        task.dataset,
+        task.error_type,
+        task.config,
+        methods=list(task.methods) if task.methods is not None else None,
+    )
+    return task.key, run.run_split(task.split)
+
+
+def execute_study(
+    blocks: list[StudyBlock],
+    config: StudyConfig,
+    n_jobs: int | None = None,
+    checkpoint=None,
+    progress=None,
+) -> list[RawExperiment]:
+    """Execute a study's task graph and return merged raw experiments.
+
+    Parameters
+    ----------
+    blocks:
+        The study's queued (dataset, error type) blocks.
+    config:
+        Study protocol knobs; ``config.n_jobs`` is the default degree of
+        parallelism.
+    n_jobs:
+        Worker processes; overrides ``config.n_jobs`` when given.  Any
+        value yields bit-identical results (see module docstring).
+    checkpoint:
+        Optional path of a JSONL task checkpoint.  Completed task keys
+        found there are skipped; every newly completed task is appended.
+    progress:
+        Optional ``(dataset_name, error_type)`` callback invoked once
+        per block as its tasks start; blocks fully satisfied by the
+        checkpoint are skipped.
+    """
+    from .persistence import append_checkpoint, load_checkpoint
+
+    jobs = config.n_jobs if n_jobs is None else n_jobs
+    if jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {jobs}")
+
+    tasks = build_task_graph(blocks, config)
+    fingerprint = study_fingerprint(blocks, config)
+    done: dict[TaskKey, SplitResult] = {}
+    if checkpoint is not None:
+        done = load_checkpoint(checkpoint, fingerprint=fingerprint)
+
+    pending = [task for task in tasks if task.key not in done]
+    by_block: dict[tuple[str, str], list[SplitTask]] = {}
+    for task in pending:
+        by_block.setdefault((task.dataset.name, task.error_type), []).append(task)
+
+    def announce(block: StudyBlock) -> bool:
+        """Fire progress for a block with work; skip fully resumed ones."""
+        block_tasks = by_block.get((block.dataset.name, block.error_type))
+        if not block_tasks:
+            return False
+        if progress is not None:
+            progress(block.dataset.name, block.error_type)
+        return True
+
+    def record(key: TaskKey, result: SplitResult) -> None:
+        done[key] = result
+        if checkpoint is not None:
+            append_checkpoint(checkpoint, key, result, fingerprint=fingerprint)
+
+    if jobs == 1 or len(pending) <= 1:
+        # in-process path: one ErrorTypeRun per block, so per-block setup
+        # (label encoding, minority-class scan) is paid once, as `run()`
+        # does; the runner still copies methods fresh per split
+        for block in blocks:
+            if not announce(block):
+                continue
+            run = ErrorTypeRun(
+                block.dataset,
+                block.error_type,
+                config,
+                methods=list(block.methods) if block.methods is not None else None,
+            )
+            block_tasks = by_block[(block.dataset.name, block.error_type)]
+            for task in sorted(block_tasks, key=lambda t: t.split):
+                record(task.key, run.run_split(task.split))
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = []
+            for block in blocks:
+                if not announce(block):
+                    continue
+                block_tasks = by_block[(block.dataset.name, block.error_type)]
+                futures.extend(
+                    pool.submit(execute_task, task) for task in block_tasks
+                )
+            # checkpoint in completion order so an interrupt loses at
+            # most the tasks still in flight
+            for future in as_completed(futures):
+                record(*future.result())
+
+    experiments: list[RawExperiment] = []
+    for block in blocks:
+        results = [
+            done[(block.dataset.name, block.error_type, split)]
+            for split in range(config.n_splits)
+        ]
+        experiments.extend(
+            merge_split_results(block.dataset.name, block.error_type, results)
+        )
+    return experiments

@@ -1,26 +1,45 @@
-"""Persistence for study results.
+"""Persistence for study results and executor checkpoints.
 
 The paper's full grid is thousands of model trainings; a study you
-cannot checkpoint is a study you will re-run.  Raw experiments (metric
-pairs, pre-statistics) serialize to JSON so that:
+cannot checkpoint is a study you will re-run.  Two formats live here:
 
-* long runs can save incrementally and resume analysis later;
-* the statistics pass (t-tests + FDR) can be replayed under different
-  procedures without re-training anything;
-* results from separate processes (one per error type, say) can be
-  merged into a single database.
+* **Results** — raw experiments (metric pairs, pre-statistics) as a
+  single JSON document, so the statistics pass (t-tests + FDR) can be
+  replayed under different procedures without re-training anything, and
+  results from separate runs can be merged into one database.
+* **Checkpoints** — the executor's task ledger as append-only JSONL:
+  a header line followed by one line per completed
+  (dataset, error type, split) task.  Appends are crash-safe by
+  construction (a torn final line is dropped on load), rewrites never
+  happen, and ledgers written by separate processes merge by key.
+  Floats round-trip exactly through JSON, so a resumed study is
+  bit-identical to an uninterrupted one.
+
+``FORMAT_VERSION`` is 2 since checkpoints landed; version-1 results
+files (which carry the identical experiments payload) still load.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
-from .runner import RawExperiment
+from .runner import RawExperiment, SplitResult
 from .schema import MetricPair, Scenario
 from .study import CleanMLStudy
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: results format versions this module can read
+SUPPORTED_VERSIONS = (1, 2)
+
+#: the "kind" tag distinguishing checkpoint ledgers from results files
+CHECKPOINT_KIND = "cleanml-checkpoint"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is corrupt or structurally invalid."""
 
 
 def experiment_to_dict(experiment: RawExperiment) -> dict:
@@ -73,10 +92,10 @@ def load_experiments(path: str | Path) -> list[RawExperiment]:
     with open(path) as handle:
         payload = json.load(handle)
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"unsupported results format {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(expected one of {SUPPORTED_VERSIONS})"
         )
     return [experiment_from_dict(d) for d in payload["experiments"]]
 
@@ -96,6 +115,220 @@ def load_study(path: str | Path, config=None) -> CleanMLStudy:
     study = CleanMLStudy(config)
     study.raw_experiments = load_experiments(path)
     return study
+
+
+# -- executor checkpoints -----------------------------------------------------
+
+
+def _key_to_list(key: tuple) -> list:
+    """JSON-ready spec key: enum members become their values."""
+    return [part.value if isinstance(part, Scenario) else part for part in key]
+
+
+def _key_from_list(parts: list, scenario_at: int) -> tuple:
+    """Inverse of :func:`_key_to_list` (the scenario slot is positional)."""
+    return tuple(
+        Scenario(part) if index == scenario_at else part
+        for index, part in enumerate(parts)
+    )
+
+
+def split_result_to_dict(result: SplitResult) -> dict:
+    """JSON-ready dictionary for one task's split result."""
+
+    def relation(pairs_by_key: dict) -> list:
+        return [
+            [_key_to_list(key), [[pair.before, pair.after] for pair in pairs]]
+            for key, pairs in pairs_by_key.items()
+        ]
+
+    return {
+        "split": result.split,
+        "r1": relation(result.r1),
+        "r2": relation(result.r2),
+        "r3": relation(result.r3),
+    }
+
+
+def split_result_from_dict(data: dict) -> SplitResult:
+    """Inverse of :func:`split_result_to_dict`."""
+
+    def relation(name: str) -> dict:
+        scenario_at = {"r1": 3, "r2": 2, "r3": 0}[name]
+        return {
+            _key_from_list(key, scenario_at): [
+                MetricPair(float(b), float(a)) for b, a in pairs
+            ]
+            for key, pairs in data[name]
+        }
+
+    return SplitResult(
+        split=int(data["split"]),
+        r1=relation("r1"),
+        r2=relation("r2"),
+        r3=relation("r3"),
+    )
+
+
+def _checkpoint_header(fingerprint: str | None = None) -> str:
+    header = {"format_version": FORMAT_VERSION, "kind": CHECKPOINT_KIND}
+    if fingerprint is not None:
+        header["fingerprint"] = fingerprint
+    return json.dumps(header)
+
+
+def _heal_torn_tail(path: Path) -> None:
+    """Drop a torn final line (crash mid-append) before appending more.
+
+    Keeps the append-only invariant that every complete line is valid:
+    without this, appending after a crash would glue new entries onto
+    the torn fragment and corrupt the ledger permanently.
+    """
+    if not path.exists() or path.stat().st_size == 0:
+        return
+    with open(path, "rb") as handle:
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":  # happy path: one byte inspected
+            return
+    data = path.read_bytes()  # torn tail only — rare, worth the full read
+    with open(path, "r+b") as handle:
+        handle.truncate(data.rfind(b"\n") + 1)
+
+
+def append_checkpoint(
+    path: str | Path, key: tuple, result: SplitResult, fingerprint: str | None = None
+) -> None:
+    """Record one completed task, creating the ledger if needed.
+
+    When ``fingerprint`` is given (the executor passes
+    :func:`~repro.core.executor.study_fingerprint`) and the ledger is
+    new, it is stamped into the header so later resumes can detect
+    protocol or method-list drift.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _heal_torn_tail(path)
+    line = json.dumps({"task": list(key), "result": split_result_to_dict(result)})
+    with open(path, "a") as handle:
+        if handle.tell() == 0:
+            handle.write(_checkpoint_header(fingerprint) + "\n")
+        handle.write(line + "\n")
+
+
+def load_checkpoint(
+    path: str | Path, fingerprint: str | None = None
+) -> dict[tuple, SplitResult]:
+    """Completed tasks from a checkpoint ledger, keyed by task key.
+
+    A missing file is an empty checkpoint.  A torn *final* line — the
+    signature of a crash mid-append, including a crash during the very
+    first header write — is dropped silently; anything else malformed
+    raises :class:`CheckpointError`.
+
+    When ``fingerprint`` is given and the ledger header carries one, a
+    mismatch raises :class:`CheckpointError`: the tasks were produced
+    under a different study definition (other models, CV folds, seed,
+    cleaning-method lists, ...) and silently reusing them would corrupt
+    the study.  Note the fingerprint cannot see dataset construction
+    arguments (e.g. ``n_rows``) — keep those constant across resumed
+    runs.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    text = path.read_text()
+    # a final line without its newline is a torn append, not corruption
+    torn_tail = bool(text) and not text.endswith("\n")
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        return {}
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        if len(lines) == 1 and torn_tail:  # crash mid-header: empty checkpoint
+            return {}
+        raise CheckpointError(f"{path}: corrupt checkpoint header") from error
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"{path}: not a checkpoint ledger: {header}")
+    if header.get("format_version") not in SUPPORTED_VERSIONS:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint format "
+            f"{header.get('format_version')!r}"
+        )
+    recorded = header.get("fingerprint")
+    if fingerprint is not None and recorded is not None:
+        if recorded != fingerprint:
+            raise CheckpointError(
+                f"{path}: checkpoint was written under a different study "
+                f"definition (recorded {recorded!r}, current "
+                f"{fingerprint!r}); refusing to reuse its tasks"
+            )
+    done: dict[tuple, SplitResult] = {}
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            entry = json.loads(line)
+            name, error_type, split = entry["task"]
+            result = split_result_from_dict(entry["result"])
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as error:
+            if number == len(lines) and torn_tail:  # torn final append
+                break
+            raise CheckpointError(
+                f"{path}: corrupt checkpoint entry at line {number}"
+            ) from error
+        done[(name, error_type, int(split))] = result
+    return done
+
+
+def checkpoint_fingerprint(path: str | Path) -> str | None:
+    """The study fingerprint recorded in a ledger's header, if any.
+
+    ``None`` for missing files, torn headers, and unstamped ledgers.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        first_line = handle.readline()
+    if not first_line.endswith("\n"):  # torn header: an empty checkpoint
+        return None
+    try:
+        header = json.loads(first_line)
+    except json.JSONDecodeError:
+        return None
+    return header.get("fingerprint") if isinstance(header, dict) else None
+
+
+def merge_checkpoints(paths: list[str | Path]) -> dict[tuple, SplitResult]:
+    """Union of several ledgers (e.g. one per process of a sharded run).
+
+    Ledgers stamped with different study fingerprints refuse to merge —
+    their tasks come from different protocols, and disjoint task keys
+    would otherwise let the mix slip through silently.  Duplicate task
+    keys are fine when the recorded results agree — the tasks are
+    deterministic, so they should — and raise :class:`CheckpointError`
+    when they conflict.
+    """
+    fingerprints = {
+        path: fingerprint
+        for path in paths
+        if (fingerprint := checkpoint_fingerprint(path)) is not None
+    }
+    if len(set(fingerprints.values())) > 1:
+        raise CheckpointError(
+            "refusing to merge checkpoints from different study "
+            f"definitions: {fingerprints}"
+        )
+    merged: dict[tuple, SplitResult] = {}
+    for path in paths:
+        for key, result in load_checkpoint(path).items():
+            if key in merged and merged[key] != result:
+                raise CheckpointError(
+                    f"conflicting checkpoint entries for task {key}"
+                )
+            merged[key] = result
+    return merged
 
 
 def merge_studies(studies: list[CleanMLStudy], config=None) -> CleanMLStudy:

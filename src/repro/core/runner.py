@@ -18,11 +18,21 @@ selects the cleaning method by the best validated model it admits.  The
 runner shares work aggressively: dirty-side models are trained once per
 split and reused across every cleaning method, exactly as the semantics
 allow.
+
+Splits are independent — every random draw is seeded by
+:func:`derive_seed` on inputs that include the split index but never
+any cross-split state — so :meth:`ErrorTypeRun.run_split` doubles as
+the task body of the parallel executor (:mod:`repro.core.executor`),
+and :func:`merge_split_results` reassembles per-split results into the
+exact sequential output regardless of completion order.
 """
 
 from __future__ import annotations
 
+import copy
+import json
 import zlib
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -37,6 +47,41 @@ from ..table.ops import minority_class
 from .schema import MetricPair, Scenario
 
 
+def _freeze_overrides(overrides):
+    """Canonical immutable form of the per-model override mapping.
+
+    Each model's parameter dict is canonicalized to sorted-key JSON, so
+    the result is hashable, key-order-insensitive, and round-trips the
+    original values exactly (lists stay lists, nested dicts stay dicts)
+    via :meth:`StudyConfig.overrides_for`.  A tuple input is assumed
+    already frozen, which makes re-freezing (``dataclasses.replace``) a
+    no-op.
+    """
+    if isinstance(overrides, tuple):
+        if all(
+            isinstance(entry, tuple)
+            and len(entry) == 2
+            and isinstance(entry[0], str)
+            and isinstance(entry[1], str)
+            for entry in overrides
+        ):
+            return overrides
+        # a tuple of (name, params) pairs that is not yet frozen — e.g.
+        # dict(...).items() passed directly — freezes like a mapping
+        overrides = dict(overrides)
+    if not isinstance(overrides, Mapping):
+        raise TypeError(
+            "model_overrides must be a mapping of model name to parameter "
+            f"dict, got {type(overrides).__name__}"
+        )
+    return tuple(
+        sorted(
+            (str(name), json.dumps(params, sort_keys=True))
+            for name, params in overrides.items()
+        )
+    )
+
+
 @dataclass(frozen=True)
 class StudyConfig:
     """Knobs of the study protocol.
@@ -44,6 +89,14 @@ class StudyConfig:
     Defaults follow the paper (20 splits, 70/30, alpha 0.05, BY, 5-fold
     CV); benchmarks shrink ``n_splits`` / ``cv_folds`` / the model pool
     to stay laptop-scale, which EXPERIMENTS.md documents.
+
+    Configs are fully immutable and hashable: ``model_overrides`` may be
+    passed as a plain dict but is frozen into sorted ``(model, params)``
+    tuples on construction, so configs participate in equality and can
+    key executor task tables.  ``n_jobs`` controls how many worker
+    processes :meth:`~repro.core.study.CleanMLStudy.run` uses; it never
+    affects results (the executor guarantees bit-identical output for
+    any job count), so it is excluded from equality.
     """
 
     n_splits: int = 20
@@ -55,14 +108,55 @@ class StudyConfig:
     models: tuple[str, ...] = MODEL_NAMES
     include_advanced_cleaning: bool = True
     seed: int = 0
+    #: worker processes for study execution (1 = in-process sequential)
+    n_jobs: int = field(default=1, compare=False)
     #: per-model constructor overrides, e.g. {"random_forest":
-    #: {"n_estimators": 10}} — the lever benchmarks use to stay fast
-    model_overrides: dict = field(default_factory=dict, hash=False, compare=False)
+    #: {"n_estimators": 10}} — the lever benchmarks use to stay fast;
+    #: frozen to sorted ``(model, params_json)`` tuples in
+    #: ``__post_init__`` (values must be JSON-representable)
+    model_overrides: Mapping | tuple = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "models", tuple(self.models))
+        object.__setattr__(
+            self, "model_overrides", _freeze_overrides(self.model_overrides)
+        )
+
+    def fingerprint(self) -> str:
+        """Stable identifier of every field that shapes per-split results.
+
+        Checkpoint ledgers stamp this into their header so a resume
+        with a different protocol is rejected instead of silently
+        reusing stale tasks.  ``n_splits`` is excluded on purpose — a
+        split's result depends only on its index, so extending a study
+        from 8 to 20 splits legitimately reuses the first 8 — as are
+        ``n_jobs`` and the statistics-pass knobs (``alpha``,
+        ``fdr_procedure``), which never touch the raw experiments.
+        """
+        return "|".join(
+            str(part)
+            for part in (
+                self.test_ratio,
+                self.cv_folds,
+                self.search_iters,
+                ",".join(self.models),
+                self.include_advanced_cleaning,
+                self.seed,
+                self.model_overrides,
+            )
+        )
+
+    def overrides_for(self, name: str) -> dict:
+        """Constructor overrides for one model, as a dict (possibly empty)."""
+        for model, params_json in self.model_overrides:
+            if model == name:
+                return json.loads(params_json)
+        return {}
 
     def make_model(self, name: str, seed: int):
         """Registry model with this config's per-model overrides applied."""
         model = make_model(name, seed=seed)
-        overrides = self.model_overrides.get(name)
+        overrides = self.overrides_for(name)
         if overrides:
             model.set_params(**overrides)
         return model
@@ -80,6 +174,34 @@ class RawExperiment:
     repair: str | None
     ml_model: str | None
     pairs: tuple[MetricPair, ...]
+
+
+@dataclass(frozen=True, eq=True)
+class SplitResult:
+    """All metric pairs one split of one (dataset, error-type) block yields.
+
+    The unit of work of the parallel executor: splits are independent by
+    construction (every seed derives from the split index), so a study
+    decomposes into one :class:`SplitResult` per split per block.  Each
+    relation maps its spec key — the same tuples
+    :meth:`ErrorTypeRun.accumulate` uses — to the list of
+    :class:`MetricPair`s this split contributes (one per method that
+    produces the key: usually a single pair, several when distinct
+    methods share a (detection, repair) label):
+
+    * ``r1`` keyed ``(detection, repair, model, scenario)``;
+    * ``r2`` keyed ``(detection, repair, scenario)``;
+    * ``r3`` keyed ``(scenario,)``.
+
+    Instances are plain data (picklable) so worker processes can return
+    them across the :class:`~concurrent.futures.ProcessPoolExecutor`
+    boundary and checkpoints can serialize them.
+    """
+
+    split: int
+    r1: dict
+    r2: dict
+    r3: dict
 
 
 class TrainedModel:
@@ -198,16 +320,48 @@ class ErrorTypeRun:
     # -- public API ----------------------------------------------------------
 
     def run(self) -> list[RawExperiment]:
-        """Execute all splits and return the raw experiments."""
+        """Execute all splits sequentially and return the raw experiments."""
         for split in range(self.config.n_splits):
-            self._run_split(split)
-        return self._collect()
+            self.accumulate(self.run_split(split))
+        return self.collect()
+
+    def run_split(self, split: int) -> SplitResult:
+        """Execute one split and return its metric pairs (no mutation).
+
+        This is the parallel executor's task body: every random draw is
+        seeded by :func:`derive_seed` on ``(config.seed, dataset, ...,
+        split)``, so the result is a pure function of the split index and
+        identical whether splits run in-process, out of order, or in
+        separate worker processes.
+        """
+        return self._run_split(split)
+
+    def accumulate(self, result: SplitResult) -> None:
+        """Merge one split's pairs into the R1/R2/R3 accumulators.
+
+        Results must be accumulated in ascending split order so the
+        pair tuples (and hence t-tests and persisted JSON) match the
+        sequential run exactly; :func:`merge_split_results` sorts for
+        callers that receive results out of order.
+        """
+        _accumulate_split(self._r1, self._r2, self._r3, result)
+
+    def collect(self) -> list[RawExperiment]:
+        """Raw experiments from everything accumulated so far."""
+        return collect_experiments(
+            self.dataset.name, self.error_type, self._r1, self._r2, self._r3
+        )
 
     # -- internals ------------------------------------------------------------
 
     def _fresh_methods(self) -> list[CleaningMethod]:
+        # explicit method lists are deep-copied per split so every split
+        # fits pristine objects — the same guarantee registry methods get
+        # from being rebuilt, and what makes in-process and worker-process
+        # execution indistinguishable even for methods whose ``fit`` does
+        # not fully reset state
         if self._methods is not None:
-            return self._methods
+            return [copy.deepcopy(method) for method in self._methods]
         return methods_for(
             self.error_type,
             include_advanced=self.config.include_advanced_cleaning,
@@ -226,7 +380,7 @@ class ErrorTypeRun:
             seed,
         )
 
-    def _run_split(self, split: int) -> None:
+    def _run_split(self, split: int) -> SplitResult:
         config = self.config
         split_seed = derive_seed(config.seed, self.dataset.name, self.error_type, split)
         raw_train, raw_test = train_test_split(
@@ -242,6 +396,9 @@ class ErrorTypeRun:
         }
         best_dirty = max(dirty_models.values(), key=lambda m: m.val_score)
 
+        r1: dict[tuple, list[MetricPair]] = {}
+        r2: dict[tuple, list[MetricPair]] = {}
+        r3: dict[tuple, list[MetricPair]] = {}
         best_method_score: dict[Scenario, float] = {}
         best_method_pair: dict[Scenario, MetricPair] = {}
         best_method_name: dict[Scenario, str] = {}
@@ -270,7 +427,7 @@ class ErrorTypeRun:
                         clean_test=clean_test,
                     )
                     key = (method.detection, method.repair, name, scenario)
-                    self._r1.setdefault(key, []).append(pair)
+                    r1.setdefault(key, []).append(pair)
 
                 # R2: best models on each side
                 pair = self._metric_pair(
@@ -280,8 +437,7 @@ class ErrorTypeRun:
                     raw_test=raw_test,
                     clean_test=clean_test,
                 )
-                key2 = (method.detection, method.repair, scenario)
-                self._r2.setdefault(key2, []).append(pair)
+                r2.setdefault((method.detection, method.repair, scenario), []).append(pair)
 
                 # R3 candidate: this method's best validated model
                 if (
@@ -293,7 +449,8 @@ class ErrorTypeRun:
                     best_method_name[scenario] = method.name
 
         for scenario, pair in best_method_pair.items():
-            self._r3.setdefault((scenario,), []).append(pair)
+            r3.setdefault((scenario,), []).append(pair)
+        return SplitResult(split=split, r1=r1, r2=r2, r3=r3)
 
     def _metric_pair(
         self,
@@ -315,45 +472,101 @@ class ErrorTypeRun:
             after=clean_model.evaluate(clean_test),
         )
 
-    def _collect(self) -> list[RawExperiment]:
-        out: list[RawExperiment] = []
-        for (detection, repair, model, scenario), pairs in self._r1.items():
-            out.append(
-                RawExperiment(
-                    level="R1",
-                    dataset=self.dataset.name,
-                    error_type=self.error_type,
-                    scenario=scenario,
-                    detection=detection,
-                    repair=repair,
-                    ml_model=model,
-                    pairs=tuple(pairs),
-                )
+
+def _accumulate_split(
+    r1: dict[tuple, list[MetricPair]],
+    r2: dict[tuple, list[MetricPair]],
+    r3: dict[tuple, list[MetricPair]],
+    result: SplitResult,
+) -> None:
+    """Extend the accumulators with one split's pairs.
+
+    The single accumulation routine both the sequential runner and the
+    parallel merge use — sharing it is what keeps their pair ordering
+    (and hence the bit-identity guarantee) from silently diverging.
+    """
+    for target, source in ((r1, result.r1), (r2, result.r2), (r3, result.r3)):
+        for key, pairs in source.items():
+            target.setdefault(key, []).extend(pairs)
+
+
+def collect_experiments(
+    dataset: str,
+    error_type: str,
+    r1: dict[tuple, list[MetricPair]],
+    r2: dict[tuple, list[MetricPair]],
+    r3: dict[tuple, list[MetricPair]],
+) -> list[RawExperiment]:
+    """Raw experiments from filled R1/R2/R3 accumulators.
+
+    Experiment order follows accumulator insertion order, which — when
+    splits are accumulated in ascending order — is the method/model
+    iteration order of split 0, i.e. exactly the sequential runner's
+    output order.
+    """
+    out: list[RawExperiment] = []
+    for (detection, repair, model, scenario), pairs in r1.items():
+        out.append(
+            RawExperiment(
+                level="R1",
+                dataset=dataset,
+                error_type=error_type,
+                scenario=scenario,
+                detection=detection,
+                repair=repair,
+                ml_model=model,
+                pairs=tuple(pairs),
             )
-        for (detection, repair, scenario), pairs in self._r2.items():
-            out.append(
-                RawExperiment(
-                    level="R2",
-                    dataset=self.dataset.name,
-                    error_type=self.error_type,
-                    scenario=scenario,
-                    detection=detection,
-                    repair=repair,
-                    ml_model=None,
-                    pairs=tuple(pairs),
-                )
+        )
+    for (detection, repair, scenario), pairs in r2.items():
+        out.append(
+            RawExperiment(
+                level="R2",
+                dataset=dataset,
+                error_type=error_type,
+                scenario=scenario,
+                detection=detection,
+                repair=repair,
+                ml_model=None,
+                pairs=tuple(pairs),
             )
-        for (scenario,), pairs in self._r3.items():
-            out.append(
-                RawExperiment(
-                    level="R3",
-                    dataset=self.dataset.name,
-                    error_type=self.error_type,
-                    scenario=scenario,
-                    detection=None,
-                    repair=None,
-                    ml_model=None,
-                    pairs=tuple(pairs),
-                )
+        )
+    for (scenario,), pairs in r3.items():
+        out.append(
+            RawExperiment(
+                level="R3",
+                dataset=dataset,
+                error_type=error_type,
+                scenario=scenario,
+                detection=None,
+                repair=None,
+                ml_model=None,
+                pairs=tuple(pairs),
             )
-        return out
+        )
+    return out
+
+
+def merge_split_results(
+    dataset: str, error_type: str, results: list[SplitResult]
+) -> list[RawExperiment]:
+    """Deterministic, order-independent merge of one block's split results.
+
+    Results may arrive in any order (parallel workers complete
+    nondeterministically); sorting by split index before accumulation
+    makes the merge a pure function of the result *set*, so the output
+    is bit-identical to the sequential runner's.
+    """
+    ordered = sorted(results, key=lambda result: result.split)
+    seen = [result.split for result in ordered]
+    if seen != list(range(len(ordered))):
+        raise ValueError(
+            f"split results for {dataset} x {error_type} are not a "
+            f"contiguous 0-based range: {seen}"
+        )
+    r1: dict[tuple, list[MetricPair]] = {}
+    r2: dict[tuple, list[MetricPair]] = {}
+    r3: dict[tuple, list[MetricPair]] = {}
+    for result in ordered:
+        _accumulate_split(r1, r2, r3, result)
+    return collect_experiments(dataset, error_type, r1, r2, r3)

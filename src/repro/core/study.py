@@ -15,8 +15,9 @@ from ..cleaning.base import ERROR_TYPES, CleaningMethod
 from ..datasets.base import Dataset
 from ..stats.flags import flags_with_fdr
 from ..stats.ttest import paired_t_test
+from .executor import StudyBlock, execute_study
 from .relations import CleanMLDatabase
-from .runner import ErrorTypeRun, RawExperiment, StudyConfig
+from .runner import RawExperiment, StudyConfig
 from .schema import ExperimentRow
 
 
@@ -33,7 +34,7 @@ class CleanMLStudy:
 
     def __init__(self, config: StudyConfig | None = None) -> None:
         self.config = config or StudyConfig()
-        self._queue: list[tuple[Dataset, str, list[CleaningMethod] | None]] = []
+        self._queue: list[StudyBlock] = []
         self.raw_experiments: list[RawExperiment] = []
 
     # -- registration ---------------------------------------------------------
@@ -47,7 +48,13 @@ class CleanMLStudy:
         """Queue one dataset x error-type experiment block."""
         if error_type not in ERROR_TYPES:
             raise ValueError(f"unknown error type {error_type!r}")
-        self._queue.append((dataset, error_type, methods))
+        self._queue.append(
+            StudyBlock(
+                dataset=dataset,
+                error_type=error_type,
+                methods=tuple(methods) if methods is not None else None,
+            )
+        )
         return self
 
     def add_population(
@@ -60,17 +67,34 @@ class CleanMLStudy:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, progress=None) -> CleanMLDatabase:
+    def run(
+        self, progress=None, n_jobs: int | None = None, checkpoint=None
+    ) -> CleanMLDatabase:
         """Execute all queued blocks and return the populated database.
 
         ``progress`` is an optional callback ``(dataset_name, error_type)``
         invoked before each block — benchmarks use it for logging.
+
+        ``n_jobs`` sets the number of worker processes (default:
+        ``config.n_jobs``); any value produces bit-identical results —
+        the executor decomposes blocks into per-split tasks whose seeds
+        depend only on the split index, and merges them in split order
+        (see :mod:`repro.core.executor`).
+
+        ``checkpoint`` is an optional path of a task ledger: completed
+        (dataset, error type, split) tasks recorded there are skipped,
+        and every task this run completes is appended, so interrupted
+        studies resume where they stopped.
         """
-        for dataset, error_type, methods in self._queue:
-            if progress is not None:
-                progress(dataset.name, error_type)
-            run = ErrorTypeRun(dataset, error_type, self.config, methods=methods)
-            self.raw_experiments.extend(run.run())
+        self.raw_experiments.extend(
+            execute_study(
+                self._queue,
+                self.config,
+                n_jobs=n_jobs,
+                checkpoint=checkpoint,
+                progress=progress,
+            )
+        )
         self._queue.clear()
         return self.build_database()
 

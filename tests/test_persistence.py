@@ -1,4 +1,5 @@
-"""Tests for study persistence (save / load / merge / replay)."""
+"""Tests for study persistence (save / load / merge / replay) and the
+executor's checkpoint ledger format."""
 
 import json
 
@@ -6,15 +7,22 @@ import pytest
 
 from repro.core import CleanMLStudy, Scenario, StudyConfig
 from repro.core.persistence import (
+    FORMAT_VERSION,
+    CheckpointError,
+    append_checkpoint,
     experiment_from_dict,
     experiment_to_dict,
+    load_checkpoint,
     load_experiments,
     load_study,
+    merge_checkpoints,
     merge_studies,
     save_experiments,
     save_study,
+    split_result_from_dict,
+    split_result_to_dict,
 )
-from repro.core.runner import RawExperiment
+from repro.core.runner import RawExperiment, SplitResult
 from repro.core.schema import MetricPair
 
 
@@ -94,6 +102,194 @@ class TestStudyReplay:
         relaxed = reloaded.build_database(procedure="none")
         strict = reloaded.build_database(procedure="bonferroni")
         assert len(relaxed["R1"]) == len(strict["R1"]) == 1
+
+
+def make_split_result(split=0, shift=0.0):
+    return SplitResult(
+        split=split,
+        r1={
+            ("IQR", "Mean", "knn", Scenario.BD): [
+                MetricPair(0.8 + shift, 0.85),
+                MetricPair(0.79 + shift, 0.84),  # two methods, same label
+            ],
+            ("IQR", "Mean", "knn", Scenario.CD): [MetricPair(0.7 + shift, 0.75)],
+        },
+        r2={("IQR", "Mean", Scenario.BD): [MetricPair(0.81 + shift, 0.86)]},
+        r3={(Scenario.BD,): [MetricPair(0.82 + shift, 0.87)]},
+    )
+
+
+class TestCheckpointFormat:
+    def test_split_result_round_trip(self):
+        result = make_split_result(split=3, shift=0.01)
+        rebuilt = split_result_from_dict(split_result_to_dict(result))
+        assert rebuilt == result
+
+    def test_append_and_load(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        append_checkpoint(ledger, ("EEG", "outliers", 1), make_split_result(1))
+        done = load_checkpoint(ledger)
+        assert set(done) == {("EEG", "outliers", 0), ("EEG", "outliers", 1)}
+        assert done[("EEG", "outliers", 1)].split == 1
+
+    def test_missing_file_is_empty_checkpoint(self, tmp_path):
+        assert load_checkpoint(tmp_path / "absent.jsonl") == {}
+
+    def test_header_carries_format_version(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        header = json.loads(ledger.read_text().splitlines()[0])
+        assert header["format_version"] == FORMAT_VERSION == 2
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text(
+            json.dumps({"format_version": 99, "kind": "cleanml-checkpoint"})
+            + "\n"
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ledger)
+
+    def test_results_file_rejected_as_checkpoint(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_experiments([make_experiment()], path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        append_checkpoint(ledger, ("EEG", "outliers", 1), make_split_result(1))
+        torn = ledger.read_text()[:-40]  # crash mid-append
+        ledger.write_text(torn)
+        done = load_checkpoint(ledger)
+        assert set(done) == {("EEG", "outliers", 0)}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        lines = ledger.read_text().splitlines()
+        lines.insert(1, "{not json")
+        ledger.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ledger)
+
+    def test_corrupt_header_raises(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text("{not json\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ledger)
+
+    def test_fingerprint_drift_rejected_on_resume(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        written = StudyConfig(models=("knn",), seed=1).fingerprint()
+        append_checkpoint(
+            ledger, ("EEG", "outliers", 0), make_split_result(0),
+            fingerprint=written,
+        )
+        # same protocol: fine
+        assert load_checkpoint(ledger, fingerprint=written)
+        drifted = StudyConfig(models=("knn", "naive_bayes"), seed=1).fingerprint()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(ledger, fingerprint=drifted)
+
+    def test_n_splits_and_n_jobs_are_not_protocol_drift(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        written = StudyConfig(models=("knn",), n_splits=8)
+        append_checkpoint(
+            ledger, ("EEG", "outliers", 0), make_split_result(0),
+            fingerprint=written.fingerprint(),
+        )
+        extended = StudyConfig(models=("knn",), n_splits=20, n_jobs=4)
+        assert load_checkpoint(ledger, fingerprint=extended.fingerprint())
+
+    def test_unstamped_ledger_loads_without_fingerprint_check(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        assert load_checkpoint(ledger, fingerprint=StudyConfig().fingerprint())
+
+    def test_torn_header_is_an_empty_resumable_checkpoint(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text('{"format_version": 2, "ki')  # crash mid-header
+        assert load_checkpoint(ledger) == {}
+        # appending heals the torn tail and rebuilds a valid ledger
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        assert set(load_checkpoint(ledger)) == {("EEG", "outliers", 0)}
+
+    def test_append_after_torn_entry_heals_the_tail(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        append_checkpoint(ledger, ("EEG", "outliers", 1), make_split_result(1))
+        ledger.write_bytes(ledger.read_bytes()[:-40])  # crash mid-append
+        append_checkpoint(ledger, ("EEG", "outliers", 2), make_split_result(2))
+        done = load_checkpoint(ledger)
+        assert set(done) == {("EEG", "outliers", 0), ("EEG", "outliers", 2)}
+
+    def test_v1_results_files_still_load(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "experiments": [experiment_to_dict(make_experiment())],
+                }
+            )
+        )
+        assert load_experiments(path) == [make_experiment()]
+
+
+class TestCheckpointMerge:
+    def test_merges_ledgers_from_separate_processes(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_checkpoint(a, ("EEG", "outliers", 0), make_split_result(0))
+        append_checkpoint(b, ("EEG", "outliers", 1), make_split_result(1))
+        append_checkpoint(b, ("Sensor", "outliers", 0), make_split_result(0))
+        merged = merge_checkpoints([a, b])
+        assert len(merged) == 3
+
+    def test_agreeing_duplicates_are_fine(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            append_checkpoint(path, ("EEG", "outliers", 0), make_split_result(0))
+        merged = merge_checkpoints([a, b])
+        assert len(merged) == 1
+
+    def test_conflicting_duplicates_raise(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_checkpoint(a, ("EEG", "outliers", 0), make_split_result(0))
+        append_checkpoint(
+            b, ("EEG", "outliers", 0), make_split_result(0, shift=0.05)
+        )
+        with pytest.raises(CheckpointError):
+            merge_checkpoints([a, b])
+
+    def test_mixed_fingerprints_refuse_to_merge(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_checkpoint(
+            a, ("EEG", "outliers", 0), make_split_result(0),
+            fingerprint=StudyConfig(seed=0).fingerprint(),
+        )
+        append_checkpoint(
+            b, ("EEG", "outliers", 1), make_split_result(1),
+            fingerprint=StudyConfig(seed=1).fingerprint(),
+        )
+        # disjoint task keys, so only the fingerprint check can catch it
+        with pytest.raises(CheckpointError):
+            merge_checkpoints([a, b])
+
+    def test_matching_fingerprints_merge(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        fingerprint = StudyConfig(seed=0).fingerprint()
+        append_checkpoint(
+            a, ("EEG", "outliers", 0), make_split_result(0),
+            fingerprint=fingerprint,
+        )
+        append_checkpoint(
+            b, ("EEG", "outliers", 1), make_split_result(1),
+            fingerprint=fingerprint,
+        )
+        assert len(merge_checkpoints([a, b])) == 2
 
 
 class TestMerge:
