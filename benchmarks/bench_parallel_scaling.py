@@ -9,8 +9,12 @@ be no speedup at all.
 
 Interpretation: meaningful speedup (the issue's >=1.5x at 4 jobs)
 requires >=4 physical cores; on fewer cores the parallel runs mostly
-measure process-pool overhead, which the JSON records faithfully via
-``cpu_count``.
+measure process-pool overhead.  On a single-core machine the benchmark
+**refuses to report speedups** — earlier runs recorded 0.95x/0.90x with
+nothing signalling that no parallelism was possible — and instead
+annotates the JSON with the reason, keeping only the sequential
+baseline (now the split-execution kernel path) and the bit-identity
+re-verification, which is meaningful at any core count.
 
 Run directly (``python benchmarks/bench_parallel_scaling.py``) or under
 pytest; ``--jobs 1 2`` restricts the job counts (the CI smoke uses
@@ -58,6 +62,8 @@ def build_study(config=SCALING_CONFIG) -> CleanMLStudy:
 
 
 def run_scaling(job_counts=JOB_COUNTS) -> dict:
+    cpu_count = os.cpu_count() or 1
+    single_core = cpu_count < 2
     timings = {}
     reference = None
     for jobs in job_counts:
@@ -73,16 +79,29 @@ def run_scaling(job_counts=JOB_COUNTS) -> dict:
                 f"n_jobs={jobs} produced different results than n_jobs=1"
             )
     sequential = timings[job_counts[0]]
-    return {
+    report = {
         "benchmark": "parallel_scaling",
         "study": "Sensor x outliers, 8 splits, 4 models, 3 methods",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "kernel": "split-execution kernel (shared encoding + evaluation memo)",
+        "sequential_baseline_seconds": round(sequential, 3),
         "wall_time_seconds": {str(jobs): round(t, 3) for jobs, t in timings.items()},
-        "speedup_vs_sequential": {
-            str(jobs): round(sequential / t, 3) for jobs, t in timings.items()
-        },
         "results_bit_identical": True,
     }
+    if single_core:
+        # refuse-and-annotate: a 1-core "speedup" would only measure
+        # process-pool overhead and read as a regression
+        report["speedup_vs_sequential"] = None
+        report["note"] = (
+            "cpu_count == 1: no parallelism is possible, so speedups are "
+            "suppressed; parallel wall times above measure process-pool "
+            "overhead only and bit-identity was still re-verified"
+        )
+    else:
+        report["speedup_vs_sequential"] = {
+            str(jobs): round(sequential / t, 3) for jobs, t in timings.items()
+        }
+    return report
 
 
 def publish_report(report: dict) -> None:
@@ -92,9 +111,16 @@ def publish_report(report: dict) -> None:
         "Parallel scaling on " + report["study"],
         f"cores: {report['cpu_count']}",
     ]
+    speedups = report["speedup_vs_sequential"]
     for jobs, seconds in report["wall_time_seconds"].items():
-        speedup = report["speedup_vs_sequential"][jobs]
-        lines.append(f"  n_jobs={jobs}: {seconds:>7.3f}s  ({speedup:.2f}x)")
+        if speedups is None:
+            lines.append(f"  n_jobs={jobs}: {seconds:>7.3f}s")
+        else:
+            lines.append(
+                f"  n_jobs={jobs}: {seconds:>7.3f}s  ({speedups[jobs]:.2f}x)"
+            )
+    if report.get("note"):
+        lines.append(f"note: {report['note']}")
     lines.append(f"[written to {OUTPUT_PATH}]")
     print("\n".join(lines))
 

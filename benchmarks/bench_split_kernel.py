@@ -1,0 +1,228 @@
+"""Benchmark — split-execution kernel (ISSUE 2 acceptance evidence).
+
+Times one fixed study twice on a single core — once on the pre-kernel
+reference path (``kernel_disabled()``: per-model encoder fits, no
+evaluation memo, per-row reference transforms) and once through the
+split-execution kernel — and asserts the two runs produce **bit
+identical** ``RawExperiment``s.  A kernel run at ``n_jobs=2`` (block
+broadcast via the pool initializer) must match as well, and a micro
+benchmark times ``FeatureEncoder.transform`` against its per-row
+reference implementation on the study's training table, asserting
+``np.array_equal`` (dtype included).  Everything lands in
+``BENCH_split_kernel.json`` at the repository root.
+
+The study composition deliberately stresses the surfaces the kernel
+optimizes: models that are cheap to fit but expensive to predict (KNN,
+naive Bayes) so redundant predictions dominate trainings, a wide
+one-hot vocabulary (Airbnb's listing names) so encoding is a real cost,
+and an evaluation-heavy 30/70 train/test split so the shared-evaluation
+memo carries most of the wall time.  Training-bound studies (deep trees,
+iterative solvers) see smaller end-to-end gains; the per-surface
+speedups in the JSON are the transferable numbers.
+
+Run directly (``python benchmarks/bench_split_kernel.py``) or under
+pytest; ``--tiny`` shrinks splits/rows for the CI smoke, which fails
+the step if ``results_bit_identical`` ever goes false.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cleaning import OUTLIERS, OutlierCleaning
+from repro.core import CleanMLStudy, StudyConfig, kernel_disabled
+from repro.datasets import load_dataset
+from repro.table import FeatureEncoder
+
+KERNEL_CONFIG = StudyConfig(
+    n_splits=6,
+    cv_folds=2,
+    test_ratio=0.7,
+    seed=7,
+    models=("knn", "naive_bayes"),
+)
+
+TINY_CONFIG = StudyConfig(
+    n_splits=2,
+    cv_folds=2,
+    test_ratio=0.7,
+    seed=7,
+    models=("knn", "naive_bayes"),
+)
+
+N_ROWS = 600
+TINY_ROWS = 200
+
+METHODS = (
+    ("SD", "mean"),
+    ("IQR", "mean"),
+    ("IQR", "median"),
+)
+
+OUTPUT_PATH = Path(__file__).parent.parent / "BENCH_split_kernel.json"
+
+
+def build_study(config: StudyConfig, n_rows: int = N_ROWS) -> CleanMLStudy:
+    study = CleanMLStudy(config)
+    study.add(
+        load_dataset("Airbnb", seed=0, n_rows=n_rows),
+        OUTLIERS,
+        methods=[OutlierCleaning(d, r) for d, r in METHODS],
+    )
+    return study
+
+
+def time_encoder(n_rows: int, repeats: int = 20) -> dict:
+    """Micro-benchmark: vectorized vs reference transform, bit-checked.
+
+    Marketing (row-heavy, small categorical vocabularies) isolates the
+    per-row loop the vectorization removes; on wide-vocabulary tables
+    like Airbnb's the one-hot block allocation dominates both paths and
+    masks the difference.
+    """
+    dataset = load_dataset("Marketing", seed=0, n_rows=max(2000, 4 * n_rows))
+    features = dataset.dirty.features_table()
+    encoder = FeatureEncoder().fit(features)
+    fast = encoder.transform(features)
+    reference = encoder._transform_reference(features)
+    identical = bool(
+        fast.dtype == reference.dtype and np.array_equal(fast, reference)
+    )
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        encoder.transform(features)
+    vectorized = (time.perf_counter() - start) / repeats
+    start = time.perf_counter()
+    for _ in range(repeats):
+        encoder._transform_reference(features)
+    per_row = (time.perf_counter() - start) / repeats
+    return {
+        "table": f"Marketing dirty, {features.n_rows}x{encoder.n_features} encoded",
+        "reference_seconds": round(per_row, 6),
+        "vectorized_seconds": round(vectorized, 6),
+        "speedup": round(per_row / vectorized, 2),
+        "bit_identical": identical,
+    }
+
+
+def run_kernel_bench(tiny: bool = False) -> dict:
+    config = TINY_CONFIG if tiny else KERNEL_CONFIG
+    n_rows = TINY_ROWS if tiny else N_ROWS
+    n_tasks = config.n_splits  # one block
+    repeats = 1 if tiny else 5
+
+    # warm caches (imports, dataset generation code paths) off the clock
+    build_study(config, n_rows).run()
+
+    # best-of-N wall times: min is the standard noise-robust estimator
+    # for single-machine timing (anything above the min is interference).
+    # Interleaving the two paths spreads bursty interference across both
+    # instead of letting it land on one side's reps wholesale.
+    naive_seconds = kernel_seconds = float("inf")
+    for _ in range(repeats):
+        with kernel_disabled():
+            naive = build_study(config, n_rows)
+            start = time.perf_counter()
+            naive.run(n_jobs=1)
+            naive_seconds = min(naive_seconds, time.perf_counter() - start)
+
+        kernel = build_study(config, n_rows)
+        start = time.perf_counter()
+        kernel.run(n_jobs=1)
+        kernel_seconds = min(kernel_seconds, time.perf_counter() - start)
+
+    parallel = build_study(config, n_rows)
+    parallel.run(n_jobs=2)
+
+    return {
+        "benchmark": "split_kernel",
+        "study": (
+            f"Airbnb x outliers, {n_rows} rows, {config.n_splits} splits, "
+            f"{len(config.models)} models, {len(METHODS)} methods, "
+            f"test_ratio {config.test_ratio}"
+        ),
+        "n_tasks": n_tasks,
+        "naive_seconds": round(naive_seconds, 3),
+        "kernel_seconds": round(kernel_seconds, 3),
+        "speedup": round(naive_seconds / kernel_seconds, 2),
+        "tasks_per_second": {
+            "naive": round(n_tasks / naive_seconds, 2),
+            "kernel": round(n_tasks / kernel_seconds, 2),
+        },
+        "encoder_transform": time_encoder(n_rows),
+        "results_bit_identical": bool(
+            naive.raw_experiments == kernel.raw_experiments
+        ),
+        "parallel_bit_identical": bool(
+            parallel.raw_experiments == kernel.raw_experiments
+        ),
+    }
+
+
+def publish_report(report: dict) -> None:
+    OUTPUT_PATH.parent.mkdir(exist_ok=True)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=1) + "\n")
+    encoder = report["encoder_transform"]
+    print(
+        "\n".join(
+            [
+                "Split-execution kernel on " + report["study"],
+                f"  naive:  {report['naive_seconds']:>7.3f}s  "
+                f"({report['tasks_per_second']['naive']:.2f} tasks/s)",
+                f"  kernel: {report['kernel_seconds']:>7.3f}s  "
+                f"({report['tasks_per_second']['kernel']:.2f} tasks/s)",
+                f"  speedup: {report['speedup']:.2f}x  "
+                f"(bit-identical: {report['results_bit_identical']}, "
+                f"n_jobs=2 identical: {report['parallel_bit_identical']})",
+                f"  encoder transform: {encoder['speedup']:.2f}x "
+                f"(bit-identical: {encoder['bit_identical']})",
+                f"[written to {OUTPUT_PATH}]",
+            ]
+        )
+    )
+
+
+def check_report(report: dict) -> None:
+    """The invariants CI enforces — identity, never raw speed."""
+    assert report["results_bit_identical"], (
+        "kernel run diverged from the reference path"
+    )
+    assert report["parallel_bit_identical"], (
+        "n_jobs=2 kernel run diverged from n_jobs=1"
+    )
+    assert report["encoder_transform"]["bit_identical"], (
+        "vectorized encoder diverged from the per-row reference"
+    )
+
+
+def test_split_kernel(benchmark):
+    from .common import once
+
+    report = once(benchmark, run_kernel_bench)
+    publish_report(report)
+    check_report(report)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="small configuration for the CI smoke (identity checks only)",
+    )
+    args = parser.parse_args(argv)
+    report = run_kernel_bench(tiny=args.tiny)
+    publish_report(report)
+    check_report(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

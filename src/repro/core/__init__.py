@@ -53,12 +53,14 @@ from .reporting import (
 )
 from .robustml import RobustMLComparison, run_robustml_study
 from .runner import (
+    EncodedTable,
     ErrorTypeRun,
     RawExperiment,
     SplitResult,
     StudyConfig,
     TrainedModel,
     derive_seed,
+    kernel_disabled,
     merge_split_results,
     scenarios_for,
 )
@@ -79,6 +81,7 @@ __all__ = [
     "CleanMLDatabase",
     "CleanMLStudy",
     "EffortCurve",
+    "EncodedTable",
     "ErrorTypeRun",
     "EvaluationContext",
     "ExperimentRow",
@@ -107,6 +110,7 @@ __all__ = [
     "format_distribution",
     "generate_report",
     "human_cleaner",
+    "kernel_disabled",
     "load_checkpoint",
     "load_experiments",
     "load_study",

@@ -22,6 +22,12 @@ hence identical flags, database rows, and persisted JSON) for every
 * the merge sorts results by split index and is keyed by spec tuple, so
   worker completion order never reaches the output.
 
+Datasets travel once: the pool initializer broadcasts each pending
+block's ``Dataset`` (plus methods and config) to every worker when the
+pool starts, and per-task submissions carry only the small
+``(dataset, error type, split)`` key — ``n_splits``-fold re-pickling of
+the same tables is gone.
+
 Checkpointing
 -------------
 Pass ``checkpoint=<path>`` to record every completed task to a JSONL
@@ -63,8 +69,12 @@ class StudyBlock:
 class SplitTask:
     """One executable node of the task graph: one split of one block.
 
-    Carries everything a worker process needs (tasks are pickled to
-    workers whole), so execution never depends on parent-process state.
+    Carries everything needed to execute in isolation, so
+    :func:`execute_task` never depends on parent-process state.  The
+    pool path no longer pickles these to workers whole: each block's
+    dataset is broadcast once per worker through the pool initializer
+    (:func:`_register_blocks`) and only the small :data:`TaskKey`
+    crosses the process boundary per task.
     """
 
     dataset: Dataset
@@ -161,7 +171,7 @@ def study_fingerprint(blocks: list[StudyBlock], config: StudyConfig) -> str:
 
 
 def execute_task(task: SplitTask) -> tuple[TaskKey, SplitResult]:
-    """Run one task: the worker-process entry point.
+    """Run one self-contained task (no worker registry required).
 
     The runner deep-copies explicit method lists per split, so a task
     always fits pristine method objects — in-process and worker-process
@@ -174,6 +184,51 @@ def execute_task(task: SplitTask) -> tuple[TaskKey, SplitResult]:
         methods=list(task.methods) if task.methods is not None else None,
     )
     return task.key, run.run_split(task.split)
+
+
+# -- worker-side block registry -------------------------------------------
+#
+# Shipping a block's Dataset inside every per-split task re-pickled the
+# same tables n_splits times.  Instead the pool initializer broadcasts
+# each pending block (dataset, methods, config) to every worker exactly
+# once; per-task submissions then carry only the TaskKey.  ErrorTypeRuns
+# are built lazily per block per worker, so per-block setup (label
+# encoding, minority-class scan) is paid once per worker, mirroring the
+# sequential path's one-run-per-block structure.
+
+#: block key -> (dataset, methods) broadcast by :func:`_register_blocks`
+_WORKER_BLOCKS: dict[tuple[str, str], tuple[Dataset, tuple | None]] = {}
+#: lazily built ErrorTypeRun per registered block
+_WORKER_RUNS: dict[tuple[str, str], ErrorTypeRun] = {}
+_WORKER_CONFIG: StudyConfig | None = None
+
+
+def _register_blocks(
+    payload: list[tuple[Dataset, str, tuple | None]], config: StudyConfig
+) -> None:
+    """Pool initializer: receive each block's dataset once per worker."""
+    global _WORKER_CONFIG
+    _WORKER_BLOCKS.clear()
+    _WORKER_RUNS.clear()
+    _WORKER_CONFIG = config
+    for dataset, error_type, methods in payload:
+        _WORKER_BLOCKS[(dataset.name, error_type)] = (dataset, methods)
+
+
+def _execute_registered(key: TaskKey) -> tuple[TaskKey, SplitResult]:
+    """Worker entry point: run one split of a broadcast block."""
+    block_key = (key[0], key[1])
+    run = _WORKER_RUNS.get(block_key)
+    if run is None:
+        dataset, methods = _WORKER_BLOCKS[block_key]
+        run = ErrorTypeRun(
+            dataset,
+            key[1],
+            _WORKER_CONFIG,
+            methods=list(methods) if methods is not None else None,
+        )
+        _WORKER_RUNS[block_key] = run
+    return key, run.run_split(key[2])
 
 
 def execute_study(
@@ -251,14 +306,26 @@ def execute_study(
             for task in sorted(block_tasks, key=lambda t: t.split):
                 record(task.key, run.run_split(task.split))
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # broadcast each pending block's dataset to every worker once
+        # via the initializer; per-task submissions then carry only keys
+        payload = [
+            (block.dataset, block.error_type, block.methods)
+            for block in blocks
+            if by_block.get((block.dataset.name, block.error_type))
+        ]
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_register_blocks,
+            initargs=(payload, config),
+        ) as pool:
             futures = []
             for block in blocks:
                 if not announce(block):
                     continue
                 block_tasks = by_block[(block.dataset.name, block.error_type)]
                 futures.extend(
-                    pool.submit(execute_task, task) for task in block_tasks
+                    pool.submit(_execute_registered, task.key)
+                    for task in block_tasks
                 )
             # checkpoint in completion order so an interrupt loses at
             # most the tasks still in flight

@@ -25,6 +25,35 @@ any cross-split state — so :meth:`ErrorTypeRun.run_split` doubles as
 the task body of the parallel executor (:mod:`repro.core.executor`),
 and :func:`merge_split_results` reassembles per-split results into the
 exact sequential output regardless of completion order.
+
+Split-execution kernel
+----------------------
+Within one split the protocol's grid repeats a lot of identical work,
+and this module eliminates it without changing a single bit of output:
+
+* each training table is encoded **once** into an :class:`EncodedTable`
+  shared by every model fitted on it (the encoder is a pure function of
+  the training table, so per-model re-fits were redundant);
+* every evaluation table is encoded **once per training encoder** (the
+  :class:`EncodedTable` memoizes test encodings by table identity);
+* every ``(model, table)`` evaluation is scored **once** — an
+  :class:`_EvalMemo` caches the metric, so R2's best-model pairs and
+  CD's repeated ``clean_model.evaluate(clean_test)`` reuse predictions
+  R1 already computed (``evaluate`` is a pure function of the fitted
+  model and the table).
+
+The pre-kernel path — per-model encoder fits, no memo, per-row
+reference transforms — stays available through :func:`kernel_disabled`
+so benchmarks and tests can verify the kernel is a pure optimization.
+
+One deliberate exception lives outside this switch:
+:class:`~repro.ml.model_selection.RandomSearch` now validates every
+candidate on a single shared fold plan (an algorithmic improvement to
+the search, not a cache), so ``search_iters > 0`` studies score
+candidates differently than before this kernel landed.  Both the
+kernel and the reference path use the new search, so the bit-identity
+contract between them — and across ``n_jobs`` — holds for every
+configuration, searched or not.
 """
 
 from __future__ import annotations
@@ -33,6 +62,7 @@ import copy
 import json
 import zlib
 from collections.abc import Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -204,16 +234,150 @@ class SplitResult:
     r3: dict
 
 
-class TrainedModel:
-    """A model fitted on one training table, with its validation score.
+#: process-wide switch for the split-execution kernel; flip only through
+#: :func:`kernel_disabled`
+_KERNEL_ENABLED = True
 
-    Encoding is leakage-free by construction: the feature encoder is
-    fitted on the training table and reused for every evaluation table.
+
+@contextmanager
+def kernel_disabled():
+    """Run on the pre-kernel reference path for the duration of the block.
+
+    Disables encoding sharing and the evaluation memo (every model fits
+    its own :class:`~repro.table.FeatureEncoder` and every evaluation
+    re-encodes and re-predicts) and routes encoder transforms through
+    the per-row reference implementation.  Benchmarks time this path as
+    the "before" state and tests assert it produces bit-identical
+    results, which is the kernel's correctness contract.
+
+    Whether workers of an enclosed parallel run see the switch depends
+    on the multiprocessing start method (inherited under fork, not
+    under spawn) — keep timed reference runs at ``n_jobs=1``.
+    """
+    global _KERNEL_ENABLED
+    previous_kernel = _KERNEL_ENABLED
+    previous_vectorized = FeatureEncoder.vectorized
+    _KERNEL_ENABLED = False
+    FeatureEncoder.vectorized = False
+    try:
+        yield
+    finally:
+        _KERNEL_ENABLED = previous_kernel
+        FeatureEncoder.vectorized = previous_vectorized
+
+
+class EncodedTable:
+    """A training table encoded once and shared by every model on it.
+
+    The feature encoder is a deterministic function of the training
+    table, so fitting it per model (as the pre-kernel runner did) only
+    repeated identical work: one ``EncodedTable`` per training table
+    gives every model the same ``(X, y)`` bits the per-model fits
+    produced.  Evaluation tables are likewise deterministic under a
+    fitted encoder, so :meth:`encode` memoizes them by table identity —
+    the entries hold strong references, which both keeps the cache
+    alive for the split and guarantees ``id()`` keys cannot be reused
+    by the allocator while cached.
     """
 
     def __init__(
         self,
         train: Table,
+        labeler: LabelEncoder,
+        memoize: bool = True,
+        label_cache: dict | None = None,
+    ) -> None:
+        self.table = train
+        self.labeler = labeler
+        if memoize:
+            features = train.features_table()
+            self.encoder = FeatureEncoder().fit(features)
+            self.X = self.encoder.transform(features)
+        else:
+            # the pre-kernel runner built the features table once for
+            # fit and once for transform; keep that shape on the
+            # reference path so it times (and behaves) as it used to
+            self.encoder = FeatureEncoder().fit(train.features_table())
+            self.X = self.encoder.transform(train.features_table())
+        self.y = labeler.transform(train.labels)
+        self._memoize = memoize
+        self._eval_cache: dict[int, tuple[Table, np.ndarray]] = {}
+        # label encodings don't depend on the feature encoder, so
+        # encoders of the same split can share one table -> y cache
+        self._label_cache: dict[int, tuple[Table, np.ndarray]] = (
+            label_cache if label_cache is not None else {}
+        )
+
+    def _encode_labels(self, table: Table) -> np.ndarray:
+        entry = self._label_cache.get(id(table))
+        if entry is None or entry[0] is not table:
+            entry = (table, self.labeler.transform(table.labels))
+            self._label_cache[id(table)] = entry
+        return entry[1]
+
+    def encode(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
+        """``(X, y)`` of an evaluation table under the train-fitted encoder."""
+        if not self._memoize:
+            return (
+                self.encoder.transform(table.features_table()),
+                self.labeler.transform(table.labels),
+            )
+        entry = self._eval_cache.get(id(table))
+        if entry is None or entry[0] is not table:
+            entry = (table, self.encoder.transform(table.features_table()))
+            self._eval_cache[id(table)] = entry
+        return entry[1], self._encode_labels(table)
+
+    def discard(self, table: Table) -> None:
+        """Drop a table's cached encodings (it will not be seen again)."""
+        self._eval_cache.pop(id(table), None)
+        self._label_cache.pop(id(table), None)
+
+
+class _EvalMemo:
+    """Per-split memo of :meth:`TrainedModel.evaluate` results.
+
+    Keyed on ``(model, table)`` identity: ``evaluate`` is a pure
+    function of the fitted model and the evaluation table, so the first
+    score computed for a pair is the score every later request would
+    recompute — this is what lets R2's best-model pairs and the CD
+    scenario's repeated ``clean_model.evaluate(clean_test)`` reuse R1's
+    predictions.  Entries keep strong references to both objects so the
+    ``id()`` keys stay valid for the memo's lifetime.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._entries: dict[tuple[int, int], tuple] = {}
+
+    def evaluate(self, model: "TrainedModel", table: Table) -> float:
+        if not self.enabled:
+            return model.evaluate(table)
+        key = (id(model), id(table))
+        entry = self._entries.get(key)
+        if entry is None or entry[0] is not model or entry[1] is not table:
+            entry = (model, table, model.evaluate(table))
+            self._entries[key] = entry
+        return entry[2]
+
+    def clear(self) -> None:
+        """Release all entries (and the models/tables they pin alive)."""
+        self._entries.clear()
+
+
+class TrainedModel:
+    """A model fitted on one training table, with its validation score.
+
+    Encoding is leakage-free by construction: the feature encoder is
+    fitted on the training table and reused for every evaluation table.
+    ``train`` may be a plain :class:`Table` (a private encoder is
+    fitted, as before the kernel) or an :class:`EncodedTable` shared
+    with the other models of the same training table.
+    """
+
+    def __init__(
+        self,
+        train: Table | EncodedTable,
         model_name: str,
         config: StudyConfig,
         labeler: LabelEncoder,
@@ -224,10 +388,18 @@ class TrainedModel:
         self.model_name = model_name
         self.metric = metric
         self.positive = positive
-        self._labeler = labeler
-        self._encoder = FeatureEncoder().fit(train.features_table())
-        X = self._encoder.transform(train.features_table())
-        y = labeler.transform(train.labels)
+        if isinstance(train, EncodedTable):
+            if train.labeler is not labeler:
+                raise ValueError(
+                    "shared EncodedTable was built with a different "
+                    "label encoder than this model's"
+                )
+            self._encoded = train
+        else:
+            self._encoded = EncodedTable(
+                train, labeler, memoize=_KERNEL_ENABLED
+            )
+        X, y = self._encoded.X, self._encoded.y
 
         if config.search_iters > 0:
             search = RandomSearch(
@@ -259,12 +431,11 @@ class TrainedModel:
     @property
     def encoder(self) -> FeatureEncoder:
         """The feature encoder fitted on this model's training table."""
-        return self._encoder
+        return self._encoded.encoder
 
     def evaluate(self, test: Table) -> float:
         """Metric of the model on ``test`` (encoded with train statistics)."""
-        X = self._encoder.transform(test.features_table())
-        y = self._labeler.transform(test.labels)
+        X, y = self._encoded.encode(test)
         predictions = self.model.predict(X)
         return score_predictions(y, predictions, self.metric, self.positive)
 
@@ -368,10 +539,16 @@ class ErrorTypeRun:
             random_state=self.config.seed,
         )
 
-    def _train(self, table: Table, model_name: str, role: str, split: int) -> TrainedModel:
+    def _train(
+        self,
+        train: Table | EncodedTable,
+        model_name: str,
+        role: str,
+        split: int,
+    ) -> TrainedModel:
         seed = derive_seed(self.config.seed, self.dataset.name, role, model_name, split)
         return TrainedModel(
-            table,
+            train,
             model_name,
             self.config,
             self.labeler,
@@ -379,6 +556,14 @@ class ErrorTypeRun:
             self.positive,
             seed,
         )
+
+    def _encode_once(
+        self, train: Table, label_cache: dict
+    ) -> Table | EncodedTable:
+        """One shared encoding per training table (kernel), else the table."""
+        if _KERNEL_ENABLED:
+            return EncodedTable(train, self.labeler, label_cache=label_cache)
+        return train
 
     def _run_split(self, split: int) -> SplitResult:
         config = self.config
@@ -390,8 +575,11 @@ class ErrorTypeRun:
         baseline = dirty_baseline(self.error_type).fit(raw_train)
         dirty_train = baseline.transform(raw_train)
 
+        memo = _EvalMemo(enabled=_KERNEL_ENABLED)
+        label_cache: dict = {}
+        dirty_source = self._encode_once(dirty_train, label_cache)
         dirty_models = {
-            name: self._train(dirty_train, name, "dirty", split)
+            name: self._train(dirty_source, name, "dirty", split)
             for name in config.models
         }
         best_dirty = max(dirty_models.values(), key=lambda m: m.val_score)
@@ -408,9 +596,10 @@ class ErrorTypeRun:
             clean_train = method.transform(raw_train)
             clean_test = method.transform(raw_test)
 
+            clean_source = self._encode_once(clean_train, label_cache)
             clean_models = {
                 name: self._train(
-                    clean_train, name, f"clean:{method.name}", split
+                    clean_source, name, f"clean:{method.name}", split
                 )
                 for name in config.models
             }
@@ -425,17 +614,20 @@ class ErrorTypeRun:
                         clean_model=clean_models[name],
                         raw_test=raw_test,
                         clean_test=clean_test,
+                        memo=memo,
                     )
                     key = (method.detection, method.repair, name, scenario)
                     r1.setdefault(key, []).append(pair)
 
-                # R2: best models on each side
+                # R2: best models on each side — the memo resolves these
+                # against the predictions the R1 loop just computed
                 pair = self._metric_pair(
                     scenario,
                     dirty_model=best_dirty,
                     clean_model=best_clean,
                     raw_test=raw_test,
                     clean_test=clean_test,
+                    memo=memo,
                 )
                 r2.setdefault((method.detection, method.repair, scenario), []).append(pair)
 
@@ -448,6 +640,14 @@ class ErrorTypeRun:
                     best_method_pair[scenario] = pair
                     best_method_name[scenario] = method.name
 
+            # every memo/cache key involves a per-method object (this
+            # method's clean models or tables), so nothing evicted here
+            # could ever hit again — releasing now keeps peak memory at
+            # one method's footprint instead of the whole split's
+            memo.clear()
+            if isinstance(dirty_source, EncodedTable):
+                dirty_source.discard(clean_test)
+
         for scenario, pair in best_method_pair.items():
             r3.setdefault((scenario,), []).append(pair)
         return SplitResult(split=split, r1=r1, r2=r2, r3=r3)
@@ -459,17 +659,18 @@ class ErrorTypeRun:
         clean_model: TrainedModel,
         raw_test: Table,
         clean_test: Table,
+        memo: _EvalMemo,
     ) -> MetricPair:
         if scenario is Scenario.BD:
             # case B vs case D: both models on the cleaned test set
             return MetricPair(
-                before=dirty_model.evaluate(clean_test),
-                after=clean_model.evaluate(clean_test),
+                before=memo.evaluate(dirty_model, clean_test),
+                after=memo.evaluate(clean_model, clean_test),
             )
         # CD: the cleaned-train model on dirty vs cleaned test (C vs D)
         return MetricPair(
-            before=clean_model.evaluate(raw_test),
-            after=clean_model.evaluate(clean_test),
+            before=memo.evaluate(clean_model, raw_test),
+            after=memo.evaluate(clean_model, clean_test),
         )
 
 

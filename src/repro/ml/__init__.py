@@ -17,6 +17,7 @@ from .mlp import MLPClassifier
 from .model_selection import (
     RandomSearch,
     cross_val_score,
+    kfold_plan,
     sample_params,
     score_predictions,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "precision_recall_f1",
     "r2_score",
     "rmse",
+    "kfold_plan",
     "sample_params",
     "score_predictions",
     "search_space",

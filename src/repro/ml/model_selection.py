@@ -7,11 +7,39 @@ budget is configurable so laptop-scale study runs stay tractable.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..table.split import kfold_indices
 from .base import Classifier
 from .metrics import accuracy, f1_score
+
+
+def kfold_plan(
+    n_rows: int, n_folds: int, seed: int | None
+) -> tuple[tuple[np.ndarray, np.ndarray], ...]:
+    """Memoized k-fold (train, validation) index pairs.
+
+    Fold indices are a pure function of ``(n_rows, n_folds, seed)`` —
+    exactly what :func:`kfold_indices` derives from a fresh
+    ``default_rng(seed)`` — so repeated requests for the same inputs
+    return one shared plan.  :class:`RandomSearch` passes its plan to
+    every candidate explicitly via ``folds=``; the cache here only
+    needs to serve *recent* same-input calls, and runner CV seeds are
+    distinct by construction, so it is kept deliberately tiny rather
+    than letting dead fold arrays accumulate for the process lifetime.
+    Callers must treat the returned arrays as read-only; ``seed=None``
+    keeps the uncached entropy-seeded behavior.
+    """
+    if seed is None:
+        return tuple(kfold_indices(n_rows, n_folds, np.random.default_rng()))
+    return _kfold_plan_cached(int(n_rows), int(n_folds), int(seed))
+
+
+@lru_cache(maxsize=8)
+def _kfold_plan_cached(n_rows: int, n_folds: int, seed: int):
+    return tuple(kfold_indices(n_rows, n_folds, np.random.default_rng(seed)))
 
 
 def score_predictions(
@@ -33,21 +61,28 @@ def cross_val_score(
     metric: str = "accuracy",
     positive: int | None = None,
     seed: int | None = None,
+    folds: tuple | list | None = None,
 ) -> float:
     """Mean validation score over k folds (model refitted per fold).
 
     Folds that end up with a single class in training are still fitted —
     the models tolerate one-class training and predict that class.
+
+    ``folds`` — precomputed ``(train_idx, val_idx)`` pairs, e.g. from
+    :func:`kfold_plan` — skips fold derivation entirely; when omitted,
+    folds are derived from ``seed`` through the memoized plan, which is
+    identical to drawing them from a fresh ``default_rng(seed)``.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.int64)
-    n_folds = min(n_folds, len(y))
-    if n_folds < 2:
-        model.fit(X, y)
-        return score_predictions(y, model.predict(X), metric, positive)
-    rng = np.random.default_rng(seed)
+    if folds is None:
+        n_folds = min(n_folds, len(y))
+        if n_folds < 2:
+            model.fit(X, y)
+            return score_predictions(y, model.predict(X), metric, positive)
+        folds = kfold_plan(len(y), n_folds, seed)
     scores = []
-    for train_idx, val_idx in kfold_indices(len(y), n_folds, rng):
+    for train_idx, val_idx in folds:
         fold_model = model.clone()
         fold_model.fit(X[train_idx], y[train_idx])
         predictions = fold_model.predict(X[val_idx])
@@ -103,11 +138,27 @@ class RandomSearch:
         self.seed = seed
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomSearch":
-        """Search, then refit the best configuration on all of (X, y)."""
+        """Search, then refit the best configuration on all of (X, y).
+
+        Every candidate is validated on the **same** fold plan, drawn
+        once per search: scores stay comparable across candidates (no
+        candidate wins by lucking into easier folds) and the fold
+        indices are derived once instead of once per candidate.  This
+        deliberately replaced the older per-candidate fold draws —
+        searched scores differ from pre-kernel releases by design, and
+        the change applies on every execution path (it is an
+        algorithmic improvement, not a cache, so ``kernel_disabled``
+        does not revert it).
+        """
         rng = np.random.default_rng(self.seed)
         candidates = [dict()]
         if self.space and self.n_iter > 0:
             candidates += [sample_params(self.space, rng) for _ in range(self.n_iter)]
+
+        n_folds = min(self.n_folds, len(y))
+        folds = None
+        if n_folds >= 2:
+            folds = kfold_plan(len(y), n_folds, int(rng.integers(0, 2**31 - 1)))
 
         self.best_score_ = -np.inf
         self.best_params_: dict = {}
@@ -120,7 +171,7 @@ class RandomSearch:
                 n_folds=self.n_folds,
                 metric=self.metric,
                 positive=self.positive,
-                seed=int(rng.integers(0, 2**31 - 1)),
+                folds=folds,
             )
             if score > self.best_score_:
                 self.best_score_ = score

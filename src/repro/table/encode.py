@@ -5,9 +5,18 @@ such as mean, are computed only on the training set" (§IV-A step 2).  The
 same discipline applies to feature encoding: the :class:`FeatureEncoder`
 learns standardization statistics and category vocabularies from the
 training table only, and then transforms both splits.
+
+Transforms are vectorized — one-hot blocks are filled by integer fancy
+indexing over category codes instead of a per-row Python loop — and the
+original per-row implementation is retained as
+:meth:`FeatureEncoder._transform_reference`, the executable spec the
+vectorized path must match bit-for-bit (``tests/test_split_kernel.py``
+asserts the equality across every registry dataset).
 """
 
 from __future__ import annotations
+
+from itertools import repeat
 
 import numpy as np
 
@@ -38,12 +47,16 @@ class LabelEncoder:
         return len(self.classes_)
 
     def transform(self, labels) -> np.ndarray:
-        out = np.empty(len(labels), dtype=np.int64)
-        for i, value in enumerate(_to_list(labels)):
-            if value not in self._index:
-                raise ValueError(f"unseen label {value!r}")
-            out[i] = self._index[value]
-        return out
+        values = _to_list(labels)
+        try:
+            # C-level map over the fitted index — no per-value Python frame
+            return np.fromiter(
+                map(self._index.__getitem__, values),
+                dtype=np.int64,
+                count=len(values),
+            )
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from None
 
     def fit_transform(self, labels) -> np.ndarray:
         return self.fit(labels).transform(labels)
@@ -70,6 +83,12 @@ class FeatureEncoder:
     itself.
     """
 
+    #: class-level switch: ``False`` routes :meth:`transform` through the
+    #: per-row reference implementation.  Flipped (with the runner's
+    #: execution caches) by :func:`repro.core.runner.kernel_disabled` so
+    #: benchmarks and tests can time and verify the pre-kernel path.
+    vectorized: bool = True
+
     def __init__(self, numeric_missing: str = "mean") -> None:
         if numeric_missing not in ("mean", "nan"):
             raise ValueError("numeric_missing must be 'mean' or 'nan'")
@@ -82,6 +101,7 @@ class FeatureEncoder:
         self._means: dict[str, float] = {}
         self._stds: dict[str, float] = {}
         self._vocab: dict[str, list[str]] = {}
+        self._index: dict[str, dict[str, int]] = {}
         self.feature_names_: list[str] = []
         self._fitted = False
 
@@ -89,14 +109,19 @@ class FeatureEncoder:
         schema = table.schema
         self._numeric = schema.numeric_features
         self._categorical = schema.categorical_features
-        self._means, self._stds, self._vocab = {}, {}, {}
+        self._means, self._stds = {}, {}
+        self._vocab, self._index = {}, {}
         for name in self._numeric:
             column = table.column(name)
             mean, std = column.mean(), column.std()
             self._means[name] = 0.0 if np.isnan(mean) else mean
             self._stds[name] = 1.0 if (np.isnan(std) or std == 0.0) else std
         for name in self._categorical:
-            self._vocab[name] = [str(v) for v in table.column(name).unique()]
+            vocab = [str(v) for v in table.column(name).unique()]
+            self._vocab[name] = vocab
+            # the value -> position index is part of the fitted state, so
+            # transform never rebuilds it per call
+            self._index[name] = {v: j for j, v in enumerate(vocab)}
         self.feature_names_ = list(self._numeric)
         for name in self._categorical:
             self.feature_names_ += [f"{name}={v}" for v in self._vocab[name]]
@@ -110,18 +135,64 @@ class FeatureEncoder:
 
     def transform(self, table: Table) -> np.ndarray:
         self._require_fitted()
+        if not FeatureEncoder.vectorized:
+            return self._transform_reference(table)
         n = table.n_rows
         blocks: list[np.ndarray] = []
         for name in self._numeric:
-            values = table.column(name).values.astype(np.float64, copy=True)
-            mean, std = self._means[name], self._stds[name]
-            if self.numeric_missing == "mean":
-                values[np.isnan(values)] = mean
-            blocks.append(((values - mean) / std).reshape(n, 1))
+            blocks.append(self._numeric_block(table, name, n))
+        for name in self._categorical:
+            blocks.append(self._one_hot_block(table, name, n))
+        if not blocks:
+            return np.zeros((n, 0), dtype=np.float64)
+        return np.hstack(blocks)
+
+    def _numeric_block(self, table: Table, name: str, n: int) -> np.ndarray:
+        values = table.column(name).values.astype(np.float64, copy=True)
+        mean, std = self._means[name], self._stds[name]
+        if self.numeric_missing == "mean":
+            values[np.isnan(values)] = mean
+        return ((values - mean) / std).reshape(n, 1)
+
+    def _one_hot_block(self, table: Table, name: str, n: int) -> np.ndarray:
+        """One-hot a categorical column by integer fancy indexing.
+
+        Category codes come from the vocabulary index fitted on the
+        training table via one C-level ``map`` (missing and unseen
+        values code to -1 — ``None`` is never an index key because
+        categorical columns normalize values to ``str``); the block is
+        then filled in one ``block[rows, codes] = 1`` scatter instead
+        of a per-row 2-d assignment.
+        """
+        index = self._index[name]
+        block = np.zeros((n, len(self._vocab[name])), dtype=np.float64)
+        if not index:
+            return block
+        values = table.column(name).values
+        codes = np.fromiter(
+            map(index.get, values, repeat(-1)), dtype=np.int64, count=n
+        )
+        hits = codes >= 0
+        block[np.nonzero(hits)[0], codes[hits]] = 1.0
+        return block
+
+    def _transform_reference(self, table: Table) -> np.ndarray:
+        """The original per-row transform — kept as the executable spec.
+
+        The vectorized :meth:`transform` must produce bit-identical
+        output (values, dtype, and column order); the split-kernel tests
+        and benchmark assert that equality, so the fast path can never
+        silently drift from these semantics.
+        """
+        self._require_fitted()
+        n = table.n_rows
+        blocks: list[np.ndarray] = []
+        for name in self._numeric:
+            blocks.append(self._numeric_block(table, name, n))
         for name in self._categorical:
             vocab = self._vocab[name]
             block = np.zeros((n, len(vocab)), dtype=np.float64)
-            index = {v: j for j, v in enumerate(vocab)}
+            index = self._index[name]
             for i, value in enumerate(table.column(name).values):
                 if value is not None and str(value) in index:
                     block[i, index[str(value)]] = 1.0

@@ -1,0 +1,214 @@
+"""Tests for the split-execution kernel (shared encoding + memoized eval).
+
+The kernel's contract is that it is a *pure optimization*: shared
+``EncodedTable``s, the evaluation memo, vectorized encoder transforms,
+the memoized fold plans, and the executor's block broadcast must all be
+invisible in the output.  These tests pin that contract — the vectorized
+encoder against its per-row reference spec across every registry
+dataset, and kernel-on versus kernel-off study runs down to the last
+``MetricPair`` bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cleaning import (
+    MISSING_VALUES,
+    OUTLIERS,
+    ImputationCleaning,
+    OutlierCleaning,
+)
+from repro.core import CleanMLStudy, EncodedTable, StudyConfig, kernel_disabled
+from repro.core.executor import (
+    _execute_registered,
+    _register_blocks,
+    build_task_graph,
+    execute_task,
+)
+from repro.datasets import load_dataset
+from repro.datasets.registry import DATASET_NAMES
+from repro.ml import kfold_plan
+from repro.table import FeatureEncoder, LabelEncoder
+
+FAST = StudyConfig(
+    n_splits=2, cv_folds=2, models=("naive_bayes", "knn"), seed=7
+)
+
+
+def make_study(config=FAST):
+    """Outliers (BD + CD scenarios) plus missing values (BD only)."""
+    study = CleanMLStudy(config)
+    study.add(
+        load_dataset("Sensor", seed=0, n_rows=150),
+        OUTLIERS,
+        methods=[OutlierCleaning("SD", "mean"), OutlierCleaning("IQR", "mean")],
+    )
+    study.add(
+        load_dataset("Titanic", seed=0, n_rows=150),
+        MISSING_VALUES,
+        methods=[ImputationCleaning("mean", "mode")],
+    )
+    return study
+
+
+class TestVectorizedEncoderIsTheReference:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_bit_identical_on_registry_tables(self, name):
+        """Vectorized transform == per-row reference, bit for bit.
+
+        Covers every registry dataset's dirty and clean tables, under
+        encoders fitted on either table — dtype, values, and column
+        order (via the shared ``feature_names_``) all included.
+        """
+        dataset = load_dataset(name, seed=0, n_rows=120)
+        tables = {"dirty": dataset.dirty, "clean": dataset.clean}
+        for fit_on, fit_table in tables.items():
+            encoder = FeatureEncoder().fit(fit_table.features_table())
+            for transform_of, table in tables.items():
+                features = table.features_table()
+                fast = encoder.transform(features)
+                reference = encoder._transform_reference(features)
+                assert fast.dtype == reference.dtype, (name, fit_on, transform_of)
+                assert fast.shape == (features.n_rows, encoder.n_features)
+                assert np.array_equal(fast, reference), (
+                    name, fit_on, transform_of,
+                )
+
+    def test_unseen_and_missing_still_zero_blocks(self):
+        dataset = load_dataset("Titanic", seed=0, n_rows=120)
+        encoder = FeatureEncoder().fit(dataset.clean.features_table())
+        dirty = dataset.dirty.features_table()
+        fast = encoder.transform(dirty)
+        assert np.array_equal(fast, encoder._transform_reference(dirty))
+
+    def test_label_encoder_matches_per_row_loop(self):
+        values = ["b", "a", "b", "c", "a"] * 7
+        encoder = LabelEncoder().fit(values)
+        expected = np.array(
+            [encoder.classes_.index(v) for v in values], dtype=np.int64
+        )
+        out = encoder.transform(values)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, expected)
+
+    def test_label_encoder_unseen_still_raises(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen label"):
+            encoder.transform(["a", "zzz"])
+
+
+class TestKernelIsAPureOptimization:
+    def test_memo_never_changes_a_metric_pair(self):
+        """Kernel run == memo-free run, down to every MetricPair bit."""
+        kernel = make_study()
+        kernel.run()
+        with kernel_disabled():
+            naive = make_study()
+            naive.run()
+        assert kernel.raw_experiments == naive.raw_experiments
+
+    def test_search_enabled_study_keeps_the_contract(self):
+        """Hyper-parameter search composes with the kernel bit-for-bit.
+
+        RandomSearch's shared fold plan is an algorithmic change that
+        applies on every path, so kernel-on, kernel-off, and parallel
+        runs of a searched study must still agree exactly.
+        """
+        config = StudyConfig(
+            n_splits=2,
+            cv_folds=2,
+            search_iters=2,
+            models=("naive_bayes", "knn"),
+            seed=7,
+        )
+
+        def run_searched(jobs=1, naive=False):
+            study = CleanMLStudy(config)
+            study.add(
+                load_dataset("Sensor", seed=0, n_rows=150),
+                OUTLIERS,
+                methods=[OutlierCleaning("SD", "mean")],
+            )
+            if naive:
+                with kernel_disabled():
+                    study.run(n_jobs=jobs)
+            else:
+                study.run(n_jobs=jobs)
+            return study.raw_experiments
+
+        kernel = run_searched()
+        assert run_searched(naive=True) == kernel
+        assert run_searched(jobs=2) == kernel
+
+    def test_kernel_disabled_restores_state_on_error(self):
+        from repro.core import runner
+
+        assert runner._KERNEL_ENABLED and FeatureEncoder.vectorized
+        with pytest.raises(RuntimeError):
+            with kernel_disabled():
+                assert not runner._KERNEL_ENABLED
+                assert not FeatureEncoder.vectorized
+                raise RuntimeError("boom")
+        assert runner._KERNEL_ENABLED and FeatureEncoder.vectorized
+
+    def test_encoded_table_is_shared_and_memoized(self):
+        dataset = load_dataset("Sensor", seed=0, n_rows=120)
+        labeler = LabelEncoder().fit(dataset.dirty.labels)
+        encoded = EncodedTable(dataset.dirty, labeler)
+        test_table = dataset.clean
+        x1, y1 = encoded.encode(test_table)
+        x2, y2 = encoded.encode(test_table)
+        assert x1 is x2 and y1 is y2  # memo hit, not a re-encode
+        fresh = FeatureEncoder().fit(dataset.dirty.features_table())
+        assert np.array_equal(x1, fresh.transform(test_table.features_table()))
+
+
+class TestFoldPlanMemo:
+    def test_plan_matches_direct_derivation(self):
+        from repro.table.split import kfold_indices
+
+        plan = kfold_plan(50, 5, seed=123)
+        direct = kfold_indices(50, 5, np.random.default_rng(123))
+        assert len(plan) == len(direct)
+        for (ptrain, pval), (dtrain, dval) in zip(plan, direct):
+            assert np.array_equal(ptrain, dtrain)
+            assert np.array_equal(pval, dval)
+
+    def test_plan_is_cached_per_inputs(self):
+        a = kfold_plan(40, 4, seed=9)
+        b = kfold_plan(40, 4, seed=9)
+        assert a is b  # same lru_cache entry
+        c = kfold_plan(40, 4, seed=10)
+        assert any(
+            not np.array_equal(x[1], y[1]) for x, y in zip(a, c)
+        )
+
+    def test_cross_val_score_folds_equal_seed_path(self):
+        from repro.ml import LogisticRegression, cross_val_score
+        from tests.conftest import make_blobs
+
+        X, y = make_blobs(seed=3)
+        by_seed = cross_val_score(LogisticRegression(), X, y, n_folds=3, seed=5)
+        by_plan = cross_val_score(
+            LogisticRegression(), X, y, folds=kfold_plan(len(y), 3, 5)
+        )
+        assert by_seed == by_plan
+
+
+class TestBlockBroadcast:
+    def test_registered_execution_matches_self_contained_task(self):
+        study = make_study()
+        tasks = build_task_graph(study._queue, FAST)
+        payload = [
+            (block.dataset, block.error_type, block.methods)
+            for block in study._queue
+        ]
+        _register_blocks(payload, FAST)
+        try:
+            for task in tasks:
+                key, registered = _execute_registered(task.key)
+                expected_key, expected = execute_task(task)
+                assert key == expected_key
+                assert registered == expected
+        finally:
+            _register_blocks([], FAST)
