@@ -29,6 +29,11 @@ from .cleaning import (
     MISSING_VALUES,
     OUTLIERS,
     CleaningMethod,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    Repair,
+    compose,
     methods_for,
 )
 from .core import (
@@ -52,9 +57,12 @@ __all__ = [
     "CleanMLDatabase",
     "CleanMLStudy",
     "CleaningMethod",
+    "ComposedCleaning",
     "DATASET_NAMES",
     "DUPLICATES",
     "Dataset",
+    "DetectionResult",
+    "Detector",
     "ERROR_TYPES",
     "ErrorTypeRun",
     "Flag",
@@ -63,9 +71,11 @@ __all__ = [
     "MISSING_VALUES",
     "MODEL_NAMES",
     "OUTLIERS",
+    "Repair",
     "Scenario",
     "StudyConfig",
     "Table",
+    "compose",
     "datasets_with",
     "load_dataset",
     "make_model",

@@ -1,4 +1,41 @@
-"""Cleaning substrate: detection + repair for the five CleanML error types."""
+"""Cleaning substrate: detection + repair for the five CleanML error types.
+
+Architecture (ISSUE 3, mirroring REIN's composable-stage benchmarking)
+----------------------------------------------------------------------
+Every Table 2 method is a composition of two first-class stages:
+
+* :class:`Detector` — fitted on the training split only; maps any table
+  to an immutable :class:`DetectionResult` (per-column cell masks, a
+  per-row mask, or duplicate match pairs, plus optional repair hints in
+  ``payload``).  ``detect`` is a pure function of ``(fitted state,
+  table)``.
+* :class:`Repair` — learns statistics from ``(train, train's
+  detection)`` and then repairs any table as a pure function of
+  ``(table, detection)``.
+
+:class:`ComposedCleaning` packages one of each as a
+:class:`CleaningMethod` — the stable interface the runner, relations and
+persistence consume; its ``name`` is the paper's ``detection/repair``
+label.  The registry (:mod:`repro.cleaning.registry`) holds the Table 2
+grid as data (``TABLE2_GRID``) and composes it via ``compose(error_type,
+detection, repair)``, so a new combination is a one-line entry.
+
+Because detectors are pure functions of the training table, the
+split-execution kernel shares them: one :class:`DetectionCache` per
+split shares fits by ``(detector fingerprint, training-table
+identity)`` and memoizes detections per ``(fitted detector, table)``,
+so e.g. one isolation-forest fit serves
+the mean, median, mode and HoloClean repairs.  See
+:mod:`repro.core.runner` for the cache lifecycle and
+``BENCH_cleaning_kernel.json`` for the measured win.
+
+Typical extension::
+
+    from repro.cleaning import ComposedCleaning, compose
+    # one-line new scenario: mislabel detection, repaired by deletion
+    method = compose("mislabels", "cleanlab", "Deletion", random_state=0)
+    cleaned = method.fit(train).transform(test)
+"""
 
 from .base import (
     DUPLICATES,
@@ -8,84 +45,155 @@ from .base import (
     MISSING_VALUES,
     OUTLIERS,
     CleaningMethod,
+    ComposedCleaning,
+    DetectionCache,
+    DetectionResult,
+    Detector,
     IdentityCleaning,
     NotFittedError,
+    Repair,
 )
-from .duplicates import KeyCollisionCleaning, UnionFind, deduplicate
+from .composite import CompositeCleaning
+from .duplicates import (
+    DuplicateDeletionRepair,
+    KeyCollisionCleaning,
+    KeyCollisionDetector,
+    UnionFind,
+    deduplicate,
+    duplicate_row_mask,
+)
 from .holoclean import (
     HoloCleanEngine,
     HoloCleanMissingCleaning,
     HoloCleanOutlierCleaning,
+    HoloCleanRepair,
 )
 from .human import ROW_ID, OracleCleaning
 from .inconsistencies import (
+    FingerprintDetector,
     InconsistencyCleaning,
+    MergeRepair,
     RuleBasedInconsistencyCleaning,
+    RulesDetector,
     cluster_values,
     fingerprint,
 )
 from .isolation_forest import IsolationForest
 from .knn_impute import KNNImputationCleaning
-from .mislabels import ConfidentLearningCleaning
+from .mislabels import (
+    ConfidentLearningCleaning,
+    ConfidentLearningDetector,
+    RelabelRepair,
+)
 from .missing import (
     DUMMY_VALUE,
     DeletionCleaning,
     ImputationCleaning,
+    ImputationRepair,
+    MissingValueDetector,
+    RowDeletionRepair,
     detect_missing_rows,
     simple_imputation_methods,
 )
-from .outliers import OutlierCleaning, OutlierDetector
+from .outliers import (
+    OutlierCleaning,
+    OutlierDetector,
+    OutlierImputationRepair,
+    OutlierMaskDetector,
+)
 from .registry import (
+    ADVANCED,
+    DETECTOR_BUILDERS,
+    REPAIR_BUILDERS,
+    TABLE2_GRID,
+    compose,
     dirty_baseline,
     duplicate_methods,
     inconsistency_methods,
+    make_detector,
+    make_repair,
     methods_for,
     mislabel_methods,
     missing_value_methods,
     outlier_methods,
+    table2_pairs,
 )
-from .zeroer import PairFeaturizer, TwoComponentGaussianMixture, ZeroERCleaning
+from .zeroer import (
+    PairFeaturizer,
+    TwoComponentGaussianMixture,
+    ZeroERCleaning,
+    ZeroERDetector,
+)
 
 __all__ = [
+    "ADVANCED",
     "CleaningMethod",
+    "ComposedCleaning",
+    "CompositeCleaning",
     "ConfidentLearningCleaning",
+    "ConfidentLearningDetector",
+    "DETECTOR_BUILDERS",
     "DUMMY_VALUE",
     "DUPLICATES",
     "DeletionCleaning",
+    "DetectionCache",
+    "DetectionResult",
+    "Detector",
+    "DuplicateDeletionRepair",
     "ERROR_TYPES",
+    "FingerprintDetector",
     "HoloCleanEngine",
     "HoloCleanMissingCleaning",
     "HoloCleanOutlierCleaning",
+    "HoloCleanRepair",
     "INCONSISTENCIES",
     "IdentityCleaning",
     "ImputationCleaning",
+    "ImputationRepair",
     "InconsistencyCleaning",
     "IsolationForest",
     "KNNImputationCleaning",
     "KeyCollisionCleaning",
+    "KeyCollisionDetector",
     "MISLABELS",
     "MISSING_VALUES",
+    "MergeRepair",
+    "MissingValueDetector",
     "NotFittedError",
     "OUTLIERS",
     "OracleCleaning",
     "OutlierCleaning",
     "OutlierDetector",
+    "OutlierImputationRepair",
+    "OutlierMaskDetector",
     "PairFeaturizer",
+    "REPAIR_BUILDERS",
     "ROW_ID",
+    "RelabelRepair",
+    "Repair",
+    "RowDeletionRepair",
     "RuleBasedInconsistencyCleaning",
+    "RulesDetector",
+    "TABLE2_GRID",
     "TwoComponentGaussianMixture",
     "UnionFind",
     "ZeroERCleaning",
+    "ZeroERDetector",
     "cluster_values",
+    "compose",
     "deduplicate",
     "detect_missing_rows",
     "dirty_baseline",
     "duplicate_methods",
+    "duplicate_row_mask",
     "fingerprint",
     "inconsistency_methods",
+    "make_detector",
+    "make_repair",
     "methods_for",
     "mislabel_methods",
     "missing_value_methods",
     "outlier_methods",
     "simple_imputation_methods",
+    "table2_pairs",
 ]

@@ -10,7 +10,7 @@ still only ever sees training data.
 from __future__ import annotations
 
 from ..table import Table
-from .base import CleaningMethod
+from .base import CleaningMethod, DetectionCache
 
 #: canonical application order for mixed cleaning: structural errors
 #: first (dedupe, normalize spellings), then cell-level repairs, then
@@ -48,6 +48,20 @@ class CompositeCleaning(CleaningMethod):
     @property
     def repair(self) -> str:  # type: ignore[override]
         return "+".join(m.repair for m in self.methods)
+
+    def bind_cache(self, cache: DetectionCache | None) -> "CompositeCleaning":
+        """Propagate a shared detection cache to every composable stage.
+
+        Stage detections key on the intermediate tables each stage sees,
+        so sharing mostly pays off when several composites reuse a
+        stage's detector on the same input (and between each stage's own
+        fit-time and transform-time detections).
+        """
+        for method in self.methods:
+            bind = getattr(method, "bind_cache", None)
+            if bind is not None:
+                bind(cache)
+        return self
 
     def fit(self, train: Table) -> "CompositeCleaning":
         stage_input = train

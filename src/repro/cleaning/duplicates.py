@@ -2,13 +2,15 @@
 
 Two detectors:
 
-* **Key collision** — records agreeing on the schema's key attributes
-  are duplicates (missing key values never collide);
+* **Key collision** (:class:`KeyCollisionDetector`) — records agreeing
+  on the schema's key attributes are duplicates (missing key values
+  never collide);
 * **ZeroER** — unsupervised entity resolution over pair-similarity
   features (in :mod:`repro.cleaning.zeroer`).
 
-Repair is always the same: inside each duplicate cluster, keep the first
-record and delete the rest.
+Both produce match *pairs* as their :class:`DetectionResult`; repair is
+always the same (:class:`DuplicateDeletionRepair`): inside each
+duplicate cluster, keep the first record and delete the rest.
 """
 
 from __future__ import annotations
@@ -16,7 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Table
-from .base import DUPLICATES, CleaningMethod, check_fitted
+from .base import (
+    DUPLICATES,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    check_fitted,
+)
+from .missing import RowDeletionRepair
 
 
 class UnionFind:
@@ -48,20 +57,8 @@ class UnionFind:
         return {root: members for root, members in groups.items() if len(members) > 1}
 
 
-def deduplicate(table: Table, pairs: list[tuple[int, int]]) -> Table:
-    """Keep the first row of every duplicate cluster implied by ``pairs``."""
-    union = UnionFind(table.n_rows)
-    for a, b in pairs:
-        union.union(a, b)
-    drop: set[int] = set()
-    for members in union.clusters().values():
-        drop.update(members[1:])
-    keep = np.array([i not in drop for i in range(table.n_rows)], dtype=bool)
-    return table.mask(keep)
-
-
 def duplicate_row_mask(n_rows: int, pairs: list[tuple[int, int]]) -> np.ndarray:
-    """Rows that would be deleted by :func:`deduplicate`."""
+    """Rows that :func:`deduplicate` would delete (cluster non-anchors)."""
     union = UnionFind(n_rows)
     for a, b in pairs:
         union.union(a, b)
@@ -71,18 +68,21 @@ def duplicate_row_mask(n_rows: int, pairs: list[tuple[int, int]]) -> np.ndarray:
     return mask
 
 
-class KeyCollisionCleaning(CleaningMethod):
+def deduplicate(table: Table, pairs: list[tuple[int, int]]) -> Table:
+    """Keep the first row of every duplicate cluster implied by ``pairs``."""
+    return table.mask(~duplicate_row_mask(table.n_rows, pairs))
+
+
+class KeyCollisionDetector(Detector):
     """Declare rows duplicates when their key attributes coincide.
 
     The key columns come from ``schema.keys``; with no keys declared, all
     categorical feature columns act as the key (a conservative default).
     """
 
-    error_type = DUPLICATES
-    detection = "KeyCollision"
-    repair = "Deletion"
+    name = "KeyCollision"
 
-    def fit(self, train: Table) -> "KeyCollisionCleaning":
+    def fit(self, train: Table) -> "KeyCollisionDetector":
         self._key_columns = list(train.schema.keys) or list(
             train.schema.categorical_features
         )
@@ -109,8 +109,26 @@ class KeyCollisionCleaning(CleaningMethod):
             pairs.extend((anchor, other) for other in members[1:])
         return pairs
 
-    def transform(self, table: Table) -> Table:
-        return deduplicate(table, self.collisions(table))
+    def detect(self, table: Table) -> DetectionResult:
+        return DetectionResult(table.n_rows, pairs=self.collisions(table))
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return duplicate_row_mask(table.n_rows, self.collisions(table))
+    def fingerprint(self) -> tuple:
+        return ("KeyCollision",)
+
+
+#: deleting a duplicate cluster's non-anchor rows is exactly the generic
+#: row deletion over ``DetectionResult.rows()`` — one repair, two Table 2 rows
+DuplicateDeletionRepair = RowDeletionRepair
+
+
+class KeyCollisionCleaning(ComposedCleaning):
+    """Key-collision detection repaired by cluster deletion."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            DUPLICATES, KeyCollisionDetector(), DuplicateDeletionRepair()
+        )
+
+    def collisions(self, table: Table) -> list[tuple[int, int]]:
+        """All colliding (i, j) pairs, i < j (compatibility passthrough)."""
+        return self.detector.collisions(table)

@@ -22,9 +22,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Column, Table
-from .base import MISSING_VALUES, OUTLIERS, CleaningMethod, check_fitted
-from .missing import detect_missing_rows
-from .outliers import OutlierDetector
+from .base import (
+    MISSING_VALUES,
+    OUTLIERS,
+    ComposedCleaning,
+    DetectionResult,
+    Repair,
+    check_fitted,
+)
+from .missing import MissingValueDetector
+from .outliers import OutlierMaskDetector
 
 _SMOOTH = 1.0  # Laplace smoothing for co-occurrence likelihoods
 
@@ -156,62 +163,55 @@ class HoloCleanEngine:
         return out
 
 
-class HoloCleanMissingCleaning(CleaningMethod):
-    """Missing values repaired by HoloClean inference."""
+class HoloCleanRepair(Repair):
+    """HoloClean inference as a composable repair.
 
-    error_type = MISSING_VALUES
-    detection = "EmptyEntries"
-    repair = "HoloClean"
+    Fitting blanks every *detected* training cell before the engine
+    learns its co-occurrence / regression models, so they never learn
+    from corrupt values (for missing-value detections the cells are
+    already blank, so this is a no-op and the engine sees the raw
+    training table, exactly as before the decomposition).  ``apply``
+    infers a value for each flagged cell of the target table.
+    """
 
-    def fit(self, train: Table) -> "HoloCleanMissingCleaning":
-        self._engine = HoloCleanEngine().fit(train)
-        return self
+    name = "HoloClean"
+    needs_detection = True
 
-    def transform(self, table: Table) -> Table:
-        check_fitted(self, "_engine")
-        cells = {
-            name: table.column(name).missing_mask()
-            for name in table.schema.feature_names
-        }
-        return self._engine.repair_cells(table, cells)
-
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return detect_missing_rows(table)
-
-
-class HoloCleanOutlierCleaning(CleaningMethod):
-    """Detected outliers repaired by HoloClean inference."""
-
-    error_type = OUTLIERS
-    repair = "HoloClean"
-
-    def __init__(self, detector: str = "IQR", random_state: int | None = None) -> None:
-        self._detector = OutlierDetector(method=detector, random_state=random_state)
-
-    @property
-    def detection(self) -> str:  # type: ignore[override]
-        return self._detector.method
-
-    def fit(self, train: Table) -> "HoloCleanOutlierCleaning":
-        self._detector.fit(train)
-        # blank out detected cells before fitting the engine so that the
-        # co-occurrence / regression models never learn from corrupt values
+    def fit(self, train: Table, detection: DetectionResult | None) -> "HoloCleanRepair":
         masked = train
-        for name, mask in self._detector.detect(train).items():
+        for name, mask in detection.cell_masks.items():
             if not mask.any():
                 continue
-            values = masked.column(name).values.copy()
-            values[mask] = np.nan
-            masked = masked.with_column(name, Column(values, masked.column(name).ctype))
+            column = masked.column(name)
+            values = column.values.copy()
+            values[mask] = np.nan if column.is_numeric else None
+            masked = masked.with_column(name, Column(values, column.ctype))
         self._engine = HoloCleanEngine().fit(masked)
         return self
 
-    def transform(self, table: Table) -> Table:
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
         check_fitted(self, "_engine")
-        return self._engine.repair_cells(table, self._detector.detect(table))
+        return self._engine.repair_cells(table, detection.cell_masks)
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return self._detector.outlier_rows(table)
+
+class HoloCleanMissingCleaning(ComposedCleaning):
+    """Missing values repaired by HoloClean inference."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            MISSING_VALUES, MissingValueDetector(), HoloCleanRepair()
+        )
+
+
+class HoloCleanOutlierCleaning(ComposedCleaning):
+    """Detected outliers repaired by HoloClean inference."""
+
+    def __init__(self, detector: str = "IQR", random_state: int | None = None) -> None:
+        super().__init__(
+            OUTLIERS,
+            OutlierMaskDetector(method=detector, random_state=random_state),
+            HoloCleanRepair(),
+        )
 
 
 def _safe(value: float) -> float:

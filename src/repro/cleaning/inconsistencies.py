@@ -8,6 +8,9 @@ in a cluster into the cluster's most frequent raw value, exactly the
 paper's "merge all values in one cluster into the most frequent one".
 
 Canonical values are learned from the training split and reused on test.
+:class:`FingerprintDetector` flags non-canonical cells and carries each
+cell's canonical replacement in the detection payload, which keeps
+:class:`MergeRepair` a pure function of ``(table, detection)``.
 """
 
 from __future__ import annotations
@@ -15,7 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Column, Table
-from .base import INCONSISTENCIES, CleaningMethod, check_fitted
+from .base import (
+    INCONSISTENCIES,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    Repair,
+    check_fitted,
+)
 
 # common abbreviation expansions applied before fingerprinting; mirrors
 # the normalization users configure in OpenRefine for entity-ish columns
@@ -56,66 +66,117 @@ def cluster_values(values: list[str]) -> dict[str, list[str]]:
     return {key: list(raw) for key, raw in clusters.items()}
 
 
-class InconsistencyCleaning(CleaningMethod):
-    """Fingerprint clustering + merge-to-most-frequent.
+def canonical_mapping(train: Table) -> dict[str, dict[str, str]]:
+    """Per-column map from raw value to its cluster's canonical value."""
+    canonical: dict[str, dict[str, str]] = {}
+    for name in train.schema.categorical_features:
+        counts = train.column(name).value_counts()
+        clusters = cluster_values(list(counts))
+        mapping: dict[str, str] = {}
+        for raw_values in clusters.values():
+            if len(raw_values) < 2:
+                continue
+            winner = max(raw_values, key=lambda v: (counts.get(v, 0), v))
+            for raw in raw_values:
+                if raw != winner:
+                    mapping[raw] = winner
+        if mapping:
+            canonical[name] = mapping
+    return canonical
 
-    ``fit`` builds, per categorical feature column, a map from raw value
-    to the canonical (most frequent) value of its fingerprint cluster;
-    ``transform`` rewrites matching values.  Values whose fingerprint was
-    never seen in training pass through unchanged.
+
+class FingerprintDetector(Detector):
+    """Fingerprint clustering learned on train, applied to any table.
+
+    ``detect`` flags every cell holding a non-canonical spelling and
+    records the canonical replacements in the payload (one value array
+    per flagged column, valid where the mask is set).  Values whose
+    fingerprint was never seen in training pass through unflagged.
     """
 
-    error_type = INCONSISTENCIES
-    detection = "OpenRefine"
-    repair = "Merge"
+    name = "OpenRefine"
 
-    def fit(self, train: Table) -> "InconsistencyCleaning":
-        self._canonical: dict[str, dict[str, str]] = {}
-        for name in train.schema.categorical_features:
-            counts = train.column(name).value_counts()
-            clusters = cluster_values(list(counts))
-            mapping: dict[str, str] = {}
-            for raw_values in clusters.values():
-                if len(raw_values) < 2:
-                    continue
-                winner = max(raw_values, key=lambda v: (counts.get(v, 0), v))
-                for raw in raw_values:
-                    if raw != winner:
-                        mapping[raw] = winner
-            if mapping:
-                self._canonical[name] = mapping
+    def fit(self, train: Table) -> "FingerprintDetector":
+        self._canonical = canonical_mapping(train)
         return self
+
+    def detect(self, table: Table) -> DetectionResult:
+        check_fitted(self, "_canonical")
+        masks: dict[str, np.ndarray] = {}
+        suggestions: dict[str, np.ndarray] = {}
+        for name, mapping in self._canonical.items():
+            values = table.column(name).values
+            mask = np.array([value in mapping for value in values], dtype=bool)
+            masks[name] = mask
+            if mask.any():
+                suggested = values.copy()
+                for i in np.nonzero(mask)[0]:
+                    suggested[i] = mapping[values[i]]
+                suggestions[name] = suggested
+        return DetectionResult(
+            table.n_rows,
+            cell_masks=masks,
+            payload={"suggestions": suggestions},
+        )
+
+    def fingerprint(self) -> tuple:
+        return ("OpenRefine",)
+
+
+class RulesDetector(FingerprintDetector):
+    """Human-curated rules instead of learned clusters (paper §VII-C).
+
+    The caller supplies explicit ``{column: {wrong value: right value}}``
+    rules; ``fit`` merely restricts them to the training schema's
+    categorical features.
+    """
+
+    name = "Rules"
+
+    def __init__(self, rules: dict[str, dict[str, str]]) -> None:
+        self._rules = {col: dict(mapping) for col, mapping in rules.items()}
+
+    def fit(self, train: Table) -> "RulesDetector":
+        self._canonical = {
+            name: dict(mapping)
+            for name, mapping in self._rules.items()
+            if name in train.schema.categorical_features
+        }
+        return self
+
+    def fingerprint(self) -> tuple | None:
+        return None  # rules are caller state, not a function of train
+
+
+class MergeRepair(Repair):
+    """Rewrite flagged cells to their canonical (payload) values."""
+
+    name = "Merge"
+
+    def fit(self, train: Table, detection: DetectionResult | None) -> "MergeRepair":
+        return self
+
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
+        out = table
+        for name, mask in detection.cell_masks.items():
+            if not mask.any():
+                continue
+            suggested = detection.payload["suggestions"][name]
+            out = out.with_column(
+                name, Column(suggested, out.column(name).ctype)
+            )
+        return out
+
+
+class InconsistencyCleaning(ComposedCleaning):
+    """Fingerprint clustering + merge-to-most-frequent."""
+
+    def __init__(self) -> None:
+        super().__init__(INCONSISTENCIES, FingerprintDetector(), MergeRepair())
 
     def inconsistent_cells(self, table: Table) -> dict[str, np.ndarray]:
         """Per-column masks of cells holding a non-canonical spelling."""
-        check_fitted(self, "_canonical")
-        masks: dict[str, np.ndarray] = {}
-        for name, mapping in self._canonical.items():
-            values = table.column(name).values
-            masks[name] = np.array(
-                [value in mapping for value in values], dtype=bool
-            )
-        return masks
-
-    def transform(self, table: Table) -> Table:
-        check_fitted(self, "_canonical")
-        out = table
-        for name, mapping in self._canonical.items():
-            column = out.column(name)
-            if not any(value in mapping for value in column.values):
-                continue
-            values = column.values.copy()
-            for i, value in enumerate(values):
-                if value in mapping:
-                    values[i] = mapping[value]
-            out = out.with_column(name, Column(values, column.ctype))
-        return out
-
-    def affected_rows(self, table: Table) -> np.ndarray:
-        masks = self.inconsistent_cells(table)
-        if not masks:
-            return np.zeros(table.n_rows, dtype=bool)
-        return np.logical_or.reduce(list(masks.values()))
+        return dict(self.detector.detect(table).cell_masks)
 
 
 class RuleBasedInconsistencyCleaning(InconsistencyCleaning):
@@ -126,16 +187,7 @@ class RuleBasedInconsistencyCleaning(InconsistencyCleaning):
     paper's "manually curate data quality rules" comparison exercises.
     """
 
-    detection = "Rules"
-    repair = "Merge"
-
     def __init__(self, rules: dict[str, dict[str, str]]) -> None:
-        self._rules = {col: dict(mapping) for col, mapping in rules.items()}
-
-    def fit(self, train: Table) -> "RuleBasedInconsistencyCleaning":
-        self._canonical = {
-            name: dict(mapping)
-            for name, mapping in self._rules.items()
-            if name in train.schema.categorical_features
-        }
-        return self
+        ComposedCleaning.__init__(
+            self, INCONSISTENCIES, RulesDetector(rules), MergeRepair()
+        )

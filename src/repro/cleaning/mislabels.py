@@ -4,7 +4,8 @@ The paper cleans mislabels with *cleanlab*, whose published algorithm is
 confident learning (Northcutt et al.): estimate the joint distribution of
 (noisy label, true label) from out-of-sample predicted probabilities and
 per-class confidence thresholds, then prune/fix the examples most likely
-mislabeled.  This module implements that algorithm:
+mislabeled.  :class:`ConfidentLearningDetector` implements that
+algorithm:
 
 1. k-fold cross-validated probabilities on the training split (a bag of
    fold models doubles as the probability source for unseen tables);
@@ -13,11 +14,12 @@ mislabeled.  This module implements that algorithm:
    probability for ``j`` reaches ``t_j`` (argmax over qualifying ``j``);
 4. off-diagonal mass identifies label issues, pruned by noise rate —
    for each ``i != j``, the ``C[i][j]`` examples labeled ``i`` with the
-   largest ``p_j`` are flagged;
-5. repair relabels flagged examples to the model's argmax class.
+   largest ``p_j`` are flagged.
 
-Like every cleaning method, all statistics are learned on train and then
-applied to either split.
+Detection flags the issues (row mask) and carries each flagged example's
+argmax label in the payload; :class:`RelabelRepair` rewrites the label
+column from that payload.  Like every cleaning method, all statistics
+are learned on train and then applied to either split.
 """
 
 from __future__ import annotations
@@ -28,11 +30,18 @@ from ..ml.linear import LogisticRegression
 from ..table import Table
 from ..table.encode import FeatureEncoder, LabelEncoder
 from ..table.split import kfold_indices
-from .base import MISLABELS, CleaningMethod, check_fitted
+from .base import (
+    MISLABELS,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    Repair,
+    check_fitted,
+)
 
 
-class ConfidentLearningCleaning(CleaningMethod):
-    """cleanlab-style mislabel cleaning.
+class ConfidentLearningDetector(Detector):
+    """cleanlab-style mislabel detection.
 
     Parameters
     ----------
@@ -42,15 +51,13 @@ class ConfidentLearningCleaning(CleaningMethod):
         Controls the fold assignment.
     """
 
-    error_type = MISLABELS
-    detection = "cleanlab"
-    repair = "cleanlab"
+    name = "cleanlab"
 
     def __init__(self, n_folds: int = 5, seed: int | None = None) -> None:
         self.n_folds = n_folds
         self.seed = seed
 
-    def fit(self, train: Table) -> "ConfidentLearningCleaning":
+    def fit(self, train: Table) -> "ConfidentLearningDetector":
         self._encoder = FeatureEncoder().fit(train.features_table())
         self._labeler = LabelEncoder().fit(train.labels)
         X = self._encoder.transform(train.features_table())
@@ -123,23 +130,65 @@ class ConfidentLearningCleaning(CleaningMethod):
             total[:, : proba.shape[1]] += proba
         return total / len(self._fold_models)
 
-    # -- CleaningMethod interface -------------------------------------------------
-
-    def transform(self, table: Table) -> Table:
+    def detect(self, table: Table) -> DetectionResult:
         check_fitted(self, "_thresholds")
         proba = self.predict_proba(table)
         y = self._labeler.transform(table.labels)
         issues = self.find_label_issues(proba, y)
-        if not issues.any():
-            return table
-        repaired = y.copy()
-        repaired[issues] = np.argmax(proba[issues], axis=1)
-        return table.replace_labels(self._labeler.inverse_transform(repaired))
+        payload = None
+        if issues.any():
+            repaired = y.copy()
+            repaired[issues] = np.argmax(proba[issues], axis=1)
+            payload = {"labels": self._labeler.inverse_transform(repaired)}
+        return DetectionResult(table.n_rows, row_mask=issues, payload=payload)
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        proba = self.predict_proba(table)
-        y = self._labeler.transform(table.labels)
-        return self.find_label_issues(proba, y)
+    def fingerprint(self) -> tuple | None:
+        if self.seed is None:
+            return None  # unseeded fold assignment is nondeterministic
+        return ("cleanlab", self.n_folds, self.seed)
+
+
+class RelabelRepair(Repair):
+    """Rewrite flagged labels to the detector's suggested classes."""
+
+    name = "cleanlab"
+
+    def fit(self, train: Table, detection: DetectionResult | None) -> "RelabelRepair":
+        return self
+
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
+        if not detection.row_mask.any():
+            return table
+        return table.replace_labels(detection.payload["labels"])
+
+
+class ConfidentLearningCleaning(ComposedCleaning):
+    """cleanlab-style mislabel cleaning.
+
+    Parameters
+    ----------
+    n_folds:
+        Cross-validation folds for out-of-sample probabilities.
+    seed:
+        Controls the fold assignment.
+    """
+
+    def __init__(self, n_folds: int = 5, seed: int | None = None) -> None:
+        super().__init__(
+            MISLABELS,
+            ConfidentLearningDetector(n_folds=n_folds, seed=seed),
+            RelabelRepair(),
+        )
+        self.n_folds = n_folds
+        self.seed = seed
+
+    def find_label_issues(self, proba: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Compatibility passthrough to the detector's core rule."""
+        return self.detector.find_label_issues(proba, y)
+
+    def predict_proba(self, table: Table) -> np.ndarray:
+        """Compatibility passthrough to the detector's fold models."""
+        return self.detector.predict_proba(table)
 
 
 def _class_thresholds(

@@ -1,11 +1,14 @@
 """Missing-value detection and repair (paper §III-B-1).
 
-Detection is trivial — empty / NaN entries.  Repairs:
+Detection is trivial — empty / NaN entries, packaged as
+:class:`MissingValueDetector` so repairs compose with it like any other
+Table 2 stage.  Repairs:
 
 * **Deletion** — drop rows with missing feature values (the paper's
   "dirty" baseline for missing values, c.f. Table 5);
 * **six simple imputations** — {mean, median, mode} for numeric columns
-  crossed with {mode, dummy} for categorical columns;
+  crossed with {mode, dummy} for categorical columns
+  (:class:`ImputationRepair`);
 * **HoloClean** — probabilistic inference (in
   :mod:`repro.cleaning.holoclean`, registered via the registry).
 
@@ -17,7 +20,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Column, Table
-from .base import MISSING_VALUES, CleaningMethod, check_fitted
+from .base import (
+    MISSING_VALUES,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    Repair,
+    check_fitted,
+)
 
 NUMERIC_STRATEGIES = ("mean", "median", "mode")
 CATEGORICAL_STRATEGIES = ("mode", "dummy")
@@ -33,47 +43,67 @@ def detect_missing_rows(table: Table) -> np.ndarray:
     return mask
 
 
-class DeletionCleaning(CleaningMethod):
-    """Drop every row that has a missing feature value.
+class MissingValueDetector(Detector):
+    """Flag empty / NaN feature cells.
 
-    Stateless (nothing to learn from train), but keeps the common
-    interface.  The paper treats this as the *dirty* variant: a model
-    cannot train on literal NaNs, so deletion is the do-nothing option.
+    Stateless — detection is a pure function of the target table — but
+    fitted like every detector to keep the train-only discipline
+    uniform.  Produces both per-column cell masks (for imputation and
+    HoloClean repairs) and the row mask (for deletion).
     """
 
-    error_type = MISSING_VALUES
-    detection = "EmptyEntries"
-    repair = "Deletion"
+    name = "EmptyEntries"
 
-    def fit(self, train: Table) -> "DeletionCleaning":
+    def fit(self, train: Table) -> "MissingValueDetector":
         self._fitted = True
         return self
 
-    def transform(self, table: Table) -> Table:
+    def detect(self, table: Table) -> DetectionResult:
         check_fitted(self, "_fitted")
-        return table.mask(~detect_missing_rows(table))
+        cell_masks = {
+            name: table.column(name).missing_mask()
+            for name in table.schema.feature_names
+        }
+        if cell_masks:
+            row_mask = np.logical_or.reduce(list(cell_masks.values()))
+        else:
+            row_mask = np.zeros(table.n_rows, dtype=bool)
+        return DetectionResult(
+            table.n_rows, cell_masks=cell_masks, row_mask=row_mask
+        )
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return detect_missing_rows(table)
+    def fingerprint(self) -> tuple:
+        return ("EmptyEntries",)
 
 
-class ImputationCleaning(CleaningMethod):
-    """Simple imputation: numeric strategy x categorical strategy.
+class RowDeletionRepair(Repair):
+    """Drop every flagged row — the universal deletion repair.
 
-    Parameters
-    ----------
-    numeric:
-        ``"mean"``, ``"median"`` or ``"mode"`` — the training-split
-        statistic that fills numeric holes.
-    categorical:
-        ``"mode"`` (most frequent training value) or ``"dummy"`` (a
-        literal ``"missing"`` category).
+    Works with any detection shape, so composing it with a new detector
+    is a one-line registry entry: for cell/row detections it drops the
+    flagged rows, and for duplicate match pairs
+    :meth:`DetectionResult.rows` already excludes each cluster's anchor,
+    so this one repair is also Table 2's duplicate deletion.
     """
 
-    error_type = MISSING_VALUES
-    detection = "EmptyEntries"
+    name = "Deletion"
 
-    def __init__(self, numeric: str = "mean", categorical: str = "mode") -> None:
+    def fit(self, train: Table, detection: DetectionResult | None) -> "RowDeletionRepair":
+        return self
+
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
+        return table.mask(~detection.rows())
+
+
+class ImputationRepair(Repair):
+    """Simple imputation: numeric strategy x categorical strategy.
+
+    Fill values are training-split statistics over *present* cells (no
+    detection needed at fit time); ``apply`` fills the target table's
+    flagged cells by boolean indexing.
+    """
+
+    def __init__(self, numeric: str, categorical: str) -> None:
         if numeric not in NUMERIC_STRATEGIES:
             raise ValueError(f"numeric strategy must be one of {NUMERIC_STRATEGIES}")
         if categorical not in CATEGORICAL_STRATEGIES:
@@ -84,11 +114,11 @@ class ImputationCleaning(CleaningMethod):
         self.categorical = categorical
 
     @property
-    def repair(self) -> str:  # type: ignore[override]
+    def name(self) -> str:  # type: ignore[override]
         """Paper-style name, e.g. "MeanDummy"."""
         return f"{self.numeric.capitalize()}{self.categorical.capitalize()}"
 
-    def fit(self, train: Table) -> "ImputationCleaning":
+    def fit(self, train: Table, detection: DetectionResult | None) -> "ImputationRepair":
         self._numeric_fill: dict[str, float] = {}
         self._categorical_fill: dict[str, str | None] = {}
         for name in train.schema.numeric_features:
@@ -108,29 +138,62 @@ class ImputationCleaning(CleaningMethod):
                 self._categorical_fill[name] = DUMMY_VALUE if mode is None else mode
         return self
 
-    def transform(self, table: Table) -> Table:
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
         check_fitted(self, "_numeric_fill")
         out = table
         for name, fill in self._numeric_fill.items():
-            column = out.column(name)
-            if column.n_missing() == 0:
+            mask = detection.cell_masks[name]
+            if not mask.any():
                 continue
+            column = out.column(name)
             values = column.values.copy()
-            values[np.isnan(values)] = fill
+            values[mask] = fill
             out = out.with_column(name, Column(values, column.ctype))
         for name, fill in self._categorical_fill.items():
-            column = out.column(name)
-            if column.n_missing() == 0:
+            mask = detection.cell_masks[name]
+            if not mask.any():
                 continue
+            column = out.column(name)
             values = column.values.copy()
-            for i, value in enumerate(values):
-                if value is None:
-                    values[i] = fill
+            values[mask] = fill
             out = out.with_column(name, Column(values, column.ctype))
         return out
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return detect_missing_rows(table)
+
+class DeletionCleaning(ComposedCleaning):
+    """Drop every row that has a missing feature value.
+
+    The paper treats this as the *dirty* variant: a model cannot train
+    on literal NaNs, so deletion is the do-nothing option.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            MISSING_VALUES, MissingValueDetector(), RowDeletionRepair()
+        )
+
+
+class ImputationCleaning(ComposedCleaning):
+    """Simple imputation: numeric strategy x categorical strategy.
+
+    Parameters
+    ----------
+    numeric:
+        ``"mean"``, ``"median"`` or ``"mode"`` — the training-split
+        statistic that fills numeric holes.
+    categorical:
+        ``"mode"`` (most frequent training value) or ``"dummy"`` (a
+        literal ``"missing"`` category).
+    """
+
+    def __init__(self, numeric: str = "mean", categorical: str = "mode") -> None:
+        super().__init__(
+            MISSING_VALUES,
+            MissingValueDetector(),
+            ImputationRepair(numeric, categorical),
+        )
+        self.numeric = numeric
+        self.categorical = categorical
 
 
 def simple_imputation_methods() -> list[ImputationCleaning]:

@@ -8,10 +8,14 @@ Three detectors on numeric feature columns:
 * **IF**  — isolation forest with contamination 0.01; row-level flags
   are expanded to every numeric feature cell of the flagged rows.
 
-Repairs impute detected cells with the mean / median / mode of the
-training split's *non-outlying* values (or delegate to HoloClean).  Only
-numeric columns participate, matching the paper ("we consider only
-numerical outliers").
+:class:`OutlierDetector` holds the per-column threshold / forest logic;
+:class:`OutlierMaskDetector` adapts it to the composable
+:class:`~repro.cleaning.base.Detector` interface, so all three share one
+fit per split regardless of how many repairs consume them.  Repairs
+impute detected cells with the mean / median / mode of the training
+split's *non-outlying* values (:class:`OutlierImputationRepair`) or
+delegate to HoloClean.  Only numeric columns participate, matching the
+paper ("we consider only numerical outliers").
 """
 
 from __future__ import annotations
@@ -19,7 +23,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Column, Table
-from .base import OUTLIERS, CleaningMethod, check_fitted
+from .base import (
+    OUTLIERS,
+    ComposedCleaning,
+    DetectionResult,
+    Detector,
+    Repair,
+    check_fitted,
+)
 from .isolation_forest import IsolationForest
 
 DETECTORS = ("SD", "IQR", "IF")
@@ -108,44 +119,87 @@ class OutlierDetector:
         return np.logical_or.reduce(list(masks.values()))
 
 
-class OutlierCleaning(CleaningMethod):
-    """Detector x imputation repair for numeric outliers.
+class OutlierMaskDetector(Detector):
+    """:class:`OutlierDetector` adapted to the composable interface.
 
-    Parameters
-    ----------
-    detector:
-        ``"SD"``, ``"IQR"`` or ``"IF"``.
-    strategy:
-        ``"mean"``, ``"median"`` or ``"mode"`` — the statistic of the
-        training split's non-outlying values used as replacement.
+    The fingerprint covers every parameter that shapes the detection, so
+    SD/IQR thresholds and *seeded* isolation forests are shareable; an
+    unseeded forest (``random_state=None``) fits nondeterministically
+    and opts out of the cache.
     """
-
-    error_type = OUTLIERS
 
     def __init__(
         self,
-        detector: str = "IQR",
-        strategy: str = "mean",
+        method: str = "IQR",
+        n_std: float = 3.0,
+        iqr_k: float = 1.5,
+        contamination: float = 0.01,
         random_state: int | None = None,
     ) -> None:
-        if strategy not in REPAIRS:
-            raise ValueError(f"strategy must be one of {REPAIRS}")
-        self.strategy = strategy
-        self._detector = OutlierDetector(method=detector, random_state=random_state)
+        self._detector = OutlierDetector(
+            method=method,
+            n_std=n_std,
+            iqr_k=iqr_k,
+            contamination=contamination,
+            random_state=random_state,
+        )
 
     @property
-    def detection(self) -> str:  # type: ignore[override]
+    def name(self) -> str:  # type: ignore[override]
         return self._detector.method
 
     @property
-    def repair(self) -> str:  # type: ignore[override]
+    def inner(self) -> OutlierDetector:
+        """The underlying threshold/forest detector."""
+        return self._detector
+
+    def fit(self, train: Table) -> "OutlierMaskDetector":
+        self._detector.fit(train)
+        return self
+
+    def detect(self, table: Table) -> DetectionResult:
+        return DetectionResult(
+            table.n_rows, cell_masks=self._detector.detect(table)
+        )
+
+    def fingerprint(self) -> tuple | None:
+        inner = self._detector
+        if inner.method == "IF" and inner.random_state is None:
+            return None
+        return (
+            "outliers",
+            inner.method,
+            inner.n_std,
+            inner.iqr_k,
+            inner.contamination,
+            inner.random_state,
+        )
+
+
+class OutlierImputationRepair(Repair):
+    """Replace flagged cells with a clean-training-split statistic.
+
+    Fitting needs the training detection (the statistic is computed over
+    *non-outlying* present values only), so :attr:`needs_detection` is
+    set.
+    """
+
+    needs_detection = True
+
+    def __init__(self, strategy: str) -> None:
+        if strategy not in REPAIRS:
+            raise ValueError(f"strategy must be one of {REPAIRS}")
+        self.strategy = strategy
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
         return self.strategy.capitalize()
 
-    def fit(self, train: Table) -> "OutlierCleaning":
-        self._detector.fit(train)
-        masks = self._detector.detect(train)
+    def fit(
+        self, train: Table, detection: DetectionResult | None
+    ) -> "OutlierImputationRepair":
         self._fill: dict[str, float] = {}
-        for name, mask in masks.items():
+        for name, mask in detection.cell_masks.items():
             values = train.column(name).values
             keep = ~mask & ~np.isnan(values)
             clean_column = Column(values[keep], train.column(name).ctype)
@@ -160,11 +214,10 @@ class OutlierCleaning(CleaningMethod):
             self._fill[name] = float(fill)
         return self
 
-    def transform(self, table: Table) -> Table:
+    def apply(self, table: Table, detection: DetectionResult) -> Table:
         check_fitted(self, "_fill")
-        masks = self._detector.detect(table)
         out = table
-        for name, mask in masks.items():
+        for name, mask in detection.cell_masks.items():
             if not mask.any():
                 continue
             values = out.column(name).values.copy()
@@ -172,8 +225,31 @@ class OutlierCleaning(CleaningMethod):
             out = out.with_column(name, Column(values, out.column(name).ctype))
         return out
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return self._detector.outlier_rows(table)
+
+class OutlierCleaning(ComposedCleaning):
+    """Detector x imputation repair for numeric outliers.
+
+    Parameters
+    ----------
+    detector:
+        ``"SD"``, ``"IQR"`` or ``"IF"``.
+    strategy:
+        ``"mean"``, ``"median"`` or ``"mode"`` — the statistic of the
+        training split's non-outlying values used as replacement.
+    """
+
+    def __init__(
+        self,
+        detector: str = "IQR",
+        strategy: str = "mean",
+        random_state: int | None = None,
+    ) -> None:
+        super().__init__(
+            OUTLIERS,
+            OutlierMaskDetector(method=detector, random_state=random_state),
+            OutlierImputationRepair(strategy),
+        )
+        self.strategy = strategy
 
 
 def _numeric_matrix(

@@ -1,4 +1,12 @@
-"""Paper Table 2 as code: every (detection, repair) pair per error type.
+"""Paper Table 2 as code: detectors x repairs, composed declaratively.
+
+Since the detector/repair decomposition the grid is *data*:
+:data:`TABLE2_GRID` lists, per error type, each detection and the
+repairs that consume it, and :func:`compose` builds the corresponding
+:class:`~repro.cleaning.base.ComposedCleaning` from the
+:data:`DETECTOR_BUILDERS` / :data:`REPAIR_BUILDERS` catalogs.  Adding a
+new scenario combination — say mislabel detection repaired by deletion —
+is a one-line grid entry, not a hand-written class.
 
 ``methods_for(error_type)`` returns fresh, unfitted cleaning methods in
 the paper's order.  The runner iterates these to populate R1, and R3's
@@ -15,59 +23,139 @@ from .base import (
     MISSING_VALUES,
     OUTLIERS,
     CleaningMethod,
+    ComposedCleaning,
+    Detector,
+    Repair,
 )
-from .duplicates import KeyCollisionCleaning
-from .holoclean import HoloCleanMissingCleaning, HoloCleanOutlierCleaning
-from .inconsistencies import InconsistencyCleaning
-from .mislabels import ConfidentLearningCleaning
-from .missing import DeletionCleaning, simple_imputation_methods
-from .outliers import DETECTORS, REPAIRS, OutlierCleaning
-from .zeroer import ZeroERCleaning
+from .duplicates import KeyCollisionDetector
+from .holoclean import HoloCleanRepair
+from .inconsistencies import FingerprintDetector, MergeRepair
+from .mislabels import ConfidentLearningDetector, RelabelRepair
+from .missing import ImputationRepair, MissingValueDetector, RowDeletionRepair
+from .outliers import OutlierImputationRepair, OutlierMaskDetector
+from .zeroer import ZeroERDetector
+
+#: detection label -> builder; every builder takes the study's
+#: ``random_state`` (seeded detectors use it, the rest ignore it)
+DETECTOR_BUILDERS: dict[str, object] = {
+    "EmptyEntries": lambda random_state: MissingValueDetector(),
+    "SD": lambda random_state: OutlierMaskDetector("SD", random_state=random_state),
+    "IQR": lambda random_state: OutlierMaskDetector("IQR", random_state=random_state),
+    "IF": lambda random_state: OutlierMaskDetector("IF", random_state=random_state),
+    "KeyCollision": lambda random_state: KeyCollisionDetector(),
+    "ZeroER": lambda random_state: ZeroERDetector(),
+    "OpenRefine": lambda random_state: FingerprintDetector(),
+    "cleanlab": lambda random_state: ConfidentLearningDetector(seed=random_state),
+}
+
+#: repair label -> builder.  "Deletion" resolves per error type (row
+#: deletion for cell/row detections, cluster deletion for match pairs).
+REPAIR_BUILDERS: dict[str, object] = {
+    "MeanMode": lambda: ImputationRepair("mean", "mode"),
+    "MeanDummy": lambda: ImputationRepair("mean", "dummy"),
+    "MedianMode": lambda: ImputationRepair("median", "mode"),
+    "MedianDummy": lambda: ImputationRepair("median", "dummy"),
+    "ModeMode": lambda: ImputationRepair("mode", "mode"),
+    "ModeDummy": lambda: ImputationRepair("mode", "dummy"),
+    "Mean": lambda: OutlierImputationRepair("mean"),
+    "Median": lambda: OutlierImputationRepair("median"),
+    "Mode": lambda: OutlierImputationRepair("mode"),
+    "HoloClean": lambda: HoloCleanRepair(),
+    "Merge": lambda: MergeRepair(),
+    "cleanlab": lambda: RelabelRepair(),
+    "Deletion": lambda: RowDeletionRepair(),
+}
+
+#: Table 2, row by row: per error type, each detection with the repairs
+#: composed on top of it, in the paper's order
+TABLE2_GRID: dict[str, tuple[tuple[str, tuple[str, ...]], ...]] = {
+    MISSING_VALUES: (
+        (
+            "EmptyEntries",
+            (
+                "MeanMode",
+                "MeanDummy",
+                "MedianMode",
+                "MedianDummy",
+                "ModeMode",
+                "ModeDummy",
+                "HoloClean",
+            ),
+        ),
+    ),
+    OUTLIERS: tuple(
+        (detection, ("Mean", "Median", "Mode", "HoloClean"))
+        for detection in ("SD", "IQR", "IF")
+    ),
+    DUPLICATES: (
+        ("KeyCollision", ("Deletion",)),
+        ("ZeroER", ("Deletion",)),
+    ),
+    INCONSISTENCIES: (("OpenRefine", ("Merge",)),),
+    MISLABELS: (("cleanlab", ("cleanlab",)),),
+}
+
+#: the academic methods ``include_advanced=False`` drops — HoloClean as
+#: a repair, ZeroER as a detection
+ADVANCED = frozenset({"HoloClean", "ZeroER"})
 
 
-def missing_value_methods(include_holoclean: bool = True) -> list[CleaningMethod]:
-    """The seven imputation repairs of Table 2 (deletion is the baseline)."""
-    methods: list[CleaningMethod] = list(simple_imputation_methods())
-    if include_holoclean:
-        methods.append(HoloCleanMissingCleaning())
-    return methods
+def make_detector(detection: str, random_state: int | None = None) -> Detector:
+    """A fresh detector for a Table 2 detection label."""
+    if detection not in DETECTOR_BUILDERS:
+        raise ValueError(
+            f"unknown detection {detection!r}; choose from "
+            f"{sorted(DETECTOR_BUILDERS)}"
+        )
+    return DETECTOR_BUILDERS[detection](random_state)
 
 
-def outlier_methods(
-    include_holoclean: bool = True, random_state: int | None = None
-) -> list[CleaningMethod]:
-    """Detector x repair grid: {SD, IQR, IF} x {mean, median, mode, HoloClean}."""
-    methods: list[CleaningMethod] = []
-    for detector in DETECTORS:
-        for strategy in REPAIRS:
-            methods.append(
-                OutlierCleaning(
-                    detector=detector, strategy=strategy, random_state=random_state
-                )
-            )
-        if include_holoclean:
-            methods.append(
-                HoloCleanOutlierCleaning(detector=detector, random_state=random_state)
-            )
-    return methods
+def make_repair(repair: str, error_type: str | None = None) -> Repair:
+    """A fresh repair for a Table 2 repair label.
+
+    "Deletion" is one repair for every detection shape —
+    :meth:`DetectionResult.rows` keeps duplicate cluster anchors, so no
+    per-error-type variant is needed; ``error_type`` stays in the
+    signature for callers composing grids generically.
+    """
+    if repair not in REPAIR_BUILDERS:
+        raise ValueError(
+            f"unknown repair {repair!r}; choose from {sorted(REPAIR_BUILDERS)}"
+        )
+    return REPAIR_BUILDERS[repair]()
 
 
-def duplicate_methods(include_zeroer: bool = True) -> list[CleaningMethod]:
-    """Key collision and ZeroER, both repaired by deletion."""
-    methods: list[CleaningMethod] = [KeyCollisionCleaning()]
-    if include_zeroer:
-        methods.append(ZeroERCleaning())
-    return methods
+def compose(
+    error_type: str,
+    detection: str,
+    repair: str,
+    random_state: int | None = None,
+) -> ComposedCleaning:
+    """Build the ``detection/repair`` method for one Table 2 cell."""
+    return ComposedCleaning(
+        error_type,
+        make_detector(detection, random_state=random_state),
+        make_repair(repair, error_type=error_type),
+    )
 
 
-def inconsistency_methods() -> list[CleaningMethod]:
-    """OpenRefine-style fingerprint clustering with merge repair."""
-    return [InconsistencyCleaning()]
-
-
-def mislabel_methods(seed: int | None = None) -> list[CleaningMethod]:
-    """cleanlab-style confident learning."""
-    return [ConfidentLearningCleaning(seed=seed)]
+def table2_pairs(
+    error_type: str, include_advanced: bool = True
+) -> list[tuple[str, str]]:
+    """The ``(detection, repair)`` labels of one Table 2 row, in order."""
+    if error_type not in TABLE2_GRID:
+        raise ValueError(
+            f"unknown error type {error_type!r}; choose from {ERROR_TYPES}"
+        )
+    pairs = []
+    for detection, repairs in TABLE2_GRID[error_type]:
+        if not include_advanced and detection in ADVANCED:
+            continue
+        for repair in repairs:
+            if not include_advanced and repair in ADVANCED:
+                continue
+            pairs.append((detection, repair))
+    return pairs
 
 
 def methods_for(
@@ -81,21 +169,41 @@ def methods_for(
     ZeroER), leaving only the simple practitioners' toolbox — the knob
     the ablation benchmarks use.
     """
-    if error_type == MISSING_VALUES:
-        return missing_value_methods(include_holoclean=include_advanced)
-    if error_type == OUTLIERS:
-        return outlier_methods(
-            include_holoclean=include_advanced, random_state=random_state
+    return [
+        compose(error_type, detection, repair, random_state=random_state)
+        for detection, repair in table2_pairs(
+            error_type, include_advanced=include_advanced
         )
-    if error_type == DUPLICATES:
-        return duplicate_methods(include_zeroer=include_advanced)
-    if error_type == INCONSISTENCIES:
-        return inconsistency_methods()
-    if error_type == MISLABELS:
-        return mislabel_methods(seed=random_state)
-    raise ValueError(
-        f"unknown error type {error_type!r}; choose from {ERROR_TYPES}"
+    ]
+
+
+def missing_value_methods(include_holoclean: bool = True) -> list[CleaningMethod]:
+    """The seven imputation repairs of Table 2 (deletion is the baseline)."""
+    return methods_for(MISSING_VALUES, include_advanced=include_holoclean)
+
+
+def outlier_methods(
+    include_holoclean: bool = True, random_state: int | None = None
+) -> list[CleaningMethod]:
+    """Detector x repair grid: {SD, IQR, IF} x {mean, median, mode, HoloClean}."""
+    return methods_for(
+        OUTLIERS, include_advanced=include_holoclean, random_state=random_state
     )
+
+
+def duplicate_methods(include_zeroer: bool = True) -> list[CleaningMethod]:
+    """Key collision and ZeroER, both repaired by deletion."""
+    return methods_for(DUPLICATES, include_advanced=include_zeroer)
+
+
+def inconsistency_methods() -> list[CleaningMethod]:
+    """OpenRefine-style fingerprint clustering with merge repair."""
+    return methods_for(INCONSISTENCIES)
+
+
+def mislabel_methods(seed: int | None = None) -> list[CleaningMethod]:
+    """cleanlab-style confident learning."""
+    return methods_for(MISLABELS, random_state=seed)
 
 
 def dirty_baseline(error_type: str) -> CleaningMethod:
@@ -106,6 +214,7 @@ def dirty_baseline(error_type: str) -> CleaningMethod:
     identity.
     """
     from .base import IdentityCleaning
+    from .missing import DeletionCleaning
 
     if error_type == MISSING_VALUES:
         return DeletionCleaning()

@@ -25,8 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..table import Table
-from .base import DUPLICATES, CleaningMethod, check_fitted
-from .duplicates import deduplicate, duplicate_row_mask
+from .base import DUPLICATES, ComposedCleaning, DetectionResult, Detector, check_fitted
+from .duplicates import DuplicateDeletionRepair
 
 _SMALL_TABLE = 400  # below this, skip blocking and enumerate all pairs
 
@@ -260,8 +260,13 @@ def _gap_seed_count(sorted_similarity: np.ndarray, max_fraction: float = 0.05) -
     return max(2, len(top) - 1 - cut)
 
 
-class ZeroERCleaning(CleaningMethod):
-    """Unsupervised duplicate cleaning via the ZeroER mixture model.
+class ZeroERDetector(Detector):
+    """ZeroER match detection: blocked pairs scored by the fitted mixture.
+
+    ``fit`` already featurizes every candidate training pair to run EM,
+    so :meth:`fit_detect` scores those features in place and hands the
+    training detection to the cache for free — without it, a
+    ``detect(train)`` would re-block and re-featurize the whole table.
 
     Parameters
     ----------
@@ -269,18 +274,25 @@ class ZeroERCleaning(CleaningMethod):
         Match-posterior cutoff above which a pair is a duplicate.
     """
 
-    error_type = DUPLICATES
-    detection = "ZeroER"
-    repair = "Deletion"
+    name = "ZeroER"
 
     def __init__(self, threshold: float = 0.9) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
         self.threshold = threshold
 
-    def fit(self, train: Table) -> "ZeroERCleaning":
+    def fit(self, train: Table) -> "ZeroERDetector":
+        self._fit(train)
+        return self
+
+    def fit_detect(self, train: Table) -> DetectionResult:
+        pairs, X = self._fit(train)
+        return DetectionResult(train.n_rows, pairs=self._score(pairs, X))
+
+    def _fit(self, train: Table):
         self._featurizer = PairFeaturizer().fit(train)
         pairs = candidate_pairs(train, self._featurizer.categorical)
+        X = None
         self._mixture: TwoComponentGaussianMixture | None = None
         if len(pairs) >= 4:
             X = self._featurizer.features(train, pairs)
@@ -291,7 +303,14 @@ class ZeroERCleaning(CleaningMethod):
             self._mixture = TwoComponentGaussianMixture(
                 update="weights", seed_fraction=None
             ).fit(X)
-        return self
+        return pairs, X
+
+    def _score(self, pairs, X) -> list[tuple[int, int]]:
+        """Pairs whose match posterior clears the threshold."""
+        if self._mixture is None or not pairs:
+            return []
+        posterior = self._mixture.match_posterior(X)
+        return [pair for pair, p in zip(pairs, posterior) if p > self.threshold]
 
     def matched_pairs(self, table: Table) -> list[tuple[int, int]]:
         """Pairs the fitted model declares duplicates."""
@@ -302,11 +321,30 @@ class ZeroERCleaning(CleaningMethod):
         if not pairs:
             return []
         X = self._featurizer.features(table, pairs)
-        posterior = self._mixture.match_posterior(X)
-        return [pair for pair, p in zip(pairs, posterior) if p > self.threshold]
+        return self._score(pairs, X)
 
-    def transform(self, table: Table) -> Table:
-        return deduplicate(table, self.matched_pairs(table))
+    def detect(self, table: Table) -> DetectionResult:
+        return DetectionResult(table.n_rows, pairs=self.matched_pairs(table))
 
-    def affected_rows(self, table: Table) -> np.ndarray:
-        return duplicate_row_mask(table.n_rows, self.matched_pairs(table))
+    def fingerprint(self) -> tuple:
+        return ("ZeroER", self.threshold)
+
+
+class ZeroERCleaning(ComposedCleaning):
+    """Unsupervised duplicate cleaning via the ZeroER mixture model.
+
+    Parameters
+    ----------
+    threshold:
+        Match-posterior cutoff above which a pair is a duplicate.
+    """
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        super().__init__(
+            DUPLICATES, ZeroERDetector(threshold), DuplicateDeletionRepair()
+        )
+        self.threshold = threshold
+
+    def matched_pairs(self, table: Table) -> list[tuple[int, int]]:
+        """Pairs the fitted model declares duplicates (compat passthrough)."""
+        return self.detector.matched_pairs(table)

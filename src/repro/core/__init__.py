@@ -60,6 +60,7 @@ from .runner import (
     StudyConfig,
     TrainedModel,
     derive_seed,
+    detection_cache_disabled,
     kernel_disabled,
     merge_split_results,
     scenarios_for,
@@ -104,6 +105,7 @@ __all__ = [
     "append_checkpoint",
     "build_task_graph",
     "derive_seed",
+    "detection_cache_disabled",
     "dominant_pattern",
     "execute_study",
     "execute_task",

@@ -111,13 +111,21 @@ def build_task_graph(
     ]
 
 
-def _scalar_attrs(obj, depth: int = 1, prefix: str = "") -> list[str]:
-    """Scalar instance attributes of ``obj``, recursing one level.
+def _scalar_attrs(obj, depth: int = 2, prefix: str = "") -> list[str]:
+    """Scalar instance attributes of ``obj``, recursing two levels.
 
-    One level of recursion reaches the helper objects cleaning methods
-    commonly delegate to (e.g. an outlier cleaner's detector carrying
-    ``random_state``); deeper nesting and non-scalar values are skipped
-    because their reprs are not stable across processes.
+    Two levels of recursion reach the stage objects composed cleaning
+    methods delegate to — ``method.detector`` / ``method.repair_step``
+    and the threshold detector an outlier stage wraps (whose
+    ``random_state`` shapes results); deeper nesting and non-scalar
+    values are skipped because their reprs are not stable across
+    processes.
+
+    The detector/repair decomposition (PR 3) changed the attribute
+    layout of every composed method, so explicit-method ledgers written
+    before it no longer fingerprint-match and are refused on resume —
+    the conservative failure mode by design (registry-based blocks use
+    the ``<registry>`` marker and resume fine).
     """
     parts: list[str] = []
     for name, value in sorted(vars(obj).items()):

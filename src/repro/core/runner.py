@@ -40,11 +40,28 @@ and this module eliminates it without changing a single bit of output:
   :class:`_EvalMemo` caches the metric, so R2's best-model pairs and
   CD's repeated ``clean_model.evaluate(clean_test)`` reuse predictions
   R1 already computed (``evaluate`` is a pure function of the fitted
-  model and the table).
+  model and the table);
+* every *detector* is fitted and applied **once per split** — a
+  :class:`~repro.cleaning.base.DetectionCache` bound to each method
+  shares fits by ``(detector fingerprint, training-table identity)``
+  and memoizes detections per ``(fitted detector, table identity)``,
+  so the SD / IQR / isolation-forest thresholds, ZeroER mixture and
+  missing-cell masks are shared by every repair variant that consumes
+  them (e.g. outliers: 3 detector fits instead of 12).  The
+  correctness argument mirrors the evaluation memo's: detectors are
+  pure functions of the training table (equal fingerprints ⇒
+  interchangeable fits), detections are pure functions of ``(fitted
+  detector, table)``, every cache entry pins its key objects alive so
+  ``id()`` keys cannot be recycled, and the cache is evicted when the
+  split's method iteration ends.  Detectors that cannot guarantee
+  determinism (an unseeded isolation forest) return a ``None``
+  fingerprint and opt out.
 
-The pre-kernel path — per-model encoder fits, no memo, per-row
-reference transforms — stays available through :func:`kernel_disabled`
-so benchmarks and tests can verify the kernel is a pure optimization.
+The pre-kernel path — per-model encoder fits, no memo, private
+per-method detector fits, per-row reference transforms — stays
+available through :func:`kernel_disabled` so benchmarks and tests can
+verify the kernel is a pure optimization; :func:`detection_cache_disabled`
+narrows the switch to the detection cache alone.
 
 One deliberate exception lives outside this switch:
 :class:`~repro.ml.model_selection.RandomSearch` now validates every
@@ -67,7 +84,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..cleaning.base import MISSING_VALUES, CleaningMethod
+from ..cleaning.base import MISSING_VALUES, CleaningMethod, DetectionCache
 from ..cleaning.registry import dirty_baseline, methods_for
 from ..datasets.base import Dataset
 from ..ml.model_selection import RandomSearch, cross_val_score, score_predictions
@@ -238,17 +255,24 @@ class SplitResult:
 #: :func:`kernel_disabled`
 _KERNEL_ENABLED = True
 
+#: process-wide switch for the per-split detection cache; flip only
+#: through :func:`detection_cache_disabled` (the cache also honors the
+#: kernel switch, so :func:`kernel_disabled` implies it)
+_DETECTION_CACHE_ENABLED = True
+
 
 @contextmanager
 def kernel_disabled():
     """Run on the pre-kernel reference path for the duration of the block.
 
-    Disables encoding sharing and the evaluation memo (every model fits
+    Disables encoding sharing, the evaluation memo (every model fits
     its own :class:`~repro.table.FeatureEncoder` and every evaluation
-    re-encodes and re-predicts) and routes encoder transforms through
-    the per-row reference implementation.  Benchmarks time this path as
-    the "before" state and tests assert it produces bit-identical
-    results, which is the kernel's correctness contract.
+    re-encodes and re-predicts) and the detection cache (every cleaning
+    method fits and applies a private detector), and routes encoder
+    transforms through the per-row reference implementation.
+    Benchmarks time this path as the "before" state and tests assert it
+    produces bit-identical results, which is the kernel's correctness
+    contract.
 
     Whether workers of an enclosed parallel run see the switch depends
     on the multiprocessing start method (inherited under fork, not
@@ -264,6 +288,23 @@ def kernel_disabled():
     finally:
         _KERNEL_ENABLED = previous_kernel
         FeatureEncoder.vectorized = previous_vectorized
+
+
+@contextmanager
+def detection_cache_disabled():
+    """Disable only the per-split detection cache for the block.
+
+    Narrower than :func:`kernel_disabled`: encoding sharing and the
+    evaluation memo stay on, so benchmarks can isolate exactly what
+    detector sharing buys on top of the PR 2 kernel.
+    """
+    global _DETECTION_CACHE_ENABLED
+    previous = _DETECTION_CACHE_ENABLED
+    _DETECTION_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _DETECTION_CACHE_ENABLED = previous
 
 
 class EncodedTable:
@@ -440,6 +481,18 @@ class TrainedModel:
         return score_predictions(y, predictions, self.metric, self.positive)
 
 
+def _bind_detection_cache(method: CleaningMethod, cache: DetectionCache) -> None:
+    """Attach the split's detection cache to a method that supports it.
+
+    Composed methods (and composites of them) expose ``bind_cache``;
+    legacy monolithic methods simply run unbound, which is always
+    correct — the cache is a pure optimization.
+    """
+    bind = getattr(method, "bind_cache", None)
+    if bind is not None:
+        bind(cache)
+
+
 def derive_seed(*parts) -> int:
     """Deterministic 31-bit seed from arbitrary string-able parts."""
     text = "|".join(str(part) for part in parts)
@@ -572,7 +625,17 @@ class ErrorTypeRun:
             self.dataset.dirty, test_ratio=config.test_ratio, seed=split_seed
         )
 
-        baseline = dirty_baseline(self.error_type).fit(raw_train)
+        # one detection cache per split: detectors (and their detections
+        # of raw_train / raw_test) are shared by every method that
+        # carries an equal detector fingerprint — the dirty baseline's
+        # missing-row detection, for instance, is the same one all seven
+        # imputation repairs consume
+        dcache = DetectionCache(
+            enabled=_KERNEL_ENABLED and _DETECTION_CACHE_ENABLED
+        )
+        baseline = dirty_baseline(self.error_type)
+        _bind_detection_cache(baseline, dcache)
+        baseline.fit(raw_train)
         dirty_train = baseline.transform(raw_train)
 
         memo = _EvalMemo(enabled=_KERNEL_ENABLED)
@@ -592,6 +655,7 @@ class ErrorTypeRun:
         best_method_name: dict[Scenario, str] = {}
 
         for method in self._fresh_methods():
+            _bind_detection_cache(method, dcache)
             method.fit(raw_train)
             clean_train = method.transform(raw_train)
             clean_test = method.transform(raw_test)
@@ -647,6 +711,11 @@ class ErrorTypeRun:
             memo.clear()
             if isinstance(dirty_source, EncodedTable):
                 dirty_source.discard(clean_test)
+
+        # the split's method iteration is over: no future detect() can hit
+        # these entries (they key on this split's tables), so release the
+        # detectors and the raw tables they pin
+        dcache.clear()
 
         for scenario, pair in best_method_pair.items():
             r3.setdefault((scenario,), []).append(pair)
