@@ -41,6 +41,13 @@ and this module eliminates it without changing a single bit of output:
   CD's repeated ``clean_model.evaluate(clean_test)`` reuse predictions
   R1 already computed (``evaluate`` is a pure function of the fitted
   model and the table);
+* hyper-parameter tuning iterates **fold-major** — each CV fold's
+  ``(X_train, y_train, X_val, y_val)`` slices are materialized once per
+  search (:class:`~repro.ml.cv_kernel.FoldPlanData`) and per-model
+  :class:`~repro.ml.cv_kernel.FoldWorkspace`s serve every random-search
+  candidate from candidate-invariant precomputation (KNN's fold
+  distance matrix, naive Bayes' class statistics, CART root argsorts)
+  instead of refitting from scratch, bit-identical by contract;
 * every *detector* is fitted and applied **once per split** — a
   :class:`~repro.cleaning.base.DetectionCache` bound to each method
   shares fits by ``(detector fingerprint, training-table identity)``
@@ -87,7 +94,9 @@ import numpy as np
 from ..cleaning.base import MISSING_VALUES, CleaningMethod, DetectionCache
 from ..cleaning.registry import dirty_baseline, methods_for
 from ..datasets.base import Dataset
+from ..ml.cv_kernel import tuning_kernel_disabled
 from ..ml.model_selection import RandomSearch, cross_val_score, score_predictions
+from ..ml.tree import DecisionTreeClassifier
 from ..ml.registry import MODEL_NAMES, make_model, search_space
 from ..table import FeatureEncoder, LabelEncoder, Table, train_test_split
 from ..table.ops import minority_class
@@ -267,12 +276,15 @@ def kernel_disabled():
 
     Disables encoding sharing, the evaluation memo (every model fits
     its own :class:`~repro.table.FeatureEncoder` and every evaluation
-    re-encodes and re-predicts) and the detection cache (every cleaning
-    method fits and applies a private detector), and routes encoder
-    transforms through the per-row reference implementation.
-    Benchmarks time this path as the "before" state and tests assert it
-    produces bit-identical results, which is the kernel's correctness
-    contract.
+    re-encodes and re-predicts), the detection cache (every cleaning
+    method fits and applies a private detector), and the fold-major
+    tuning kernel (every search candidate is cloned and fitted
+    candidate-major with no shared fold slices or workspaces), and
+    routes encoder transforms and the CART split search through their
+    per-row / per-feature reference implementations.  Benchmarks time
+    this path as the "before" state
+    and tests assert it produces bit-identical results, which is the
+    kernel's correctness contract.
 
     Whether workers of an enclosed parallel run see the switch depends
     on the multiprocessing start method (inherited under fork, not
@@ -281,13 +293,17 @@ def kernel_disabled():
     global _KERNEL_ENABLED
     previous_kernel = _KERNEL_ENABLED
     previous_vectorized = FeatureEncoder.vectorized
+    previous_split = DecisionTreeClassifier.vectorized_split
     _KERNEL_ENABLED = False
     FeatureEncoder.vectorized = False
+    DecisionTreeClassifier.vectorized_split = False
     try:
-        yield
+        with tuning_kernel_disabled():
+            yield
     finally:
         _KERNEL_ENABLED = previous_kernel
         FeatureEncoder.vectorized = previous_vectorized
+        DecisionTreeClassifier.vectorized_split = previous_split
 
 
 @contextmanager
@@ -442,6 +458,11 @@ class TrainedModel:
             )
         X, y = self._encoded.X, self._encoded.y
 
+        # the tuning kernel rides the same switch as the rest of the
+        # split kernel: threading it explicitly (rather than relying on
+        # the ml-layer default alone) keeps one split's execution path
+        # consistent even if the process-wide switches are toggled
+        # between model fits
         if config.search_iters > 0:
             search = RandomSearch(
                 config.make_model(model_name, seed),
@@ -451,6 +472,7 @@ class TrainedModel:
                 metric=metric,
                 positive=positive,
                 seed=seed,
+                fold_major=_KERNEL_ENABLED,
             ).fit(X, y)
             self.model = search.best_model_
             self.val_score = float(search.best_score_)
@@ -465,6 +487,7 @@ class TrainedModel:
                     metric=metric,
                     positive=positive,
                     seed=seed,
+                    fold_major=_KERNEL_ENABLED,
                 )
             )
             self.model.fit(X, y)

@@ -2,6 +2,13 @@
 
 from .base import Classifier, check_fit_inputs, one_hot, softmax
 from .boosting import AdaBoostClassifier
+from .cv_kernel import (
+    FoldPlanData,
+    FoldWorkspace,
+    evaluate_candidates,
+    tuning_kernel_disabled,
+    tuning_kernel_enabled,
+)
 from .forest import RandomForestClassifier
 from .gbt import XGBoostClassifier
 from .knn import KNeighborsClassifier
@@ -31,6 +38,8 @@ __all__ = [
     "AdaBoostClassifier",
     "Classifier",
     "DecisionTreeClassifier",
+    "FoldPlanData",
+    "FoldWorkspace",
     "GaussianNB",
     "KNNRegressor",
     "KNeighborsClassifier",
@@ -47,6 +56,7 @@ __all__ = [
     "confusion_matrix",
     "cross_val_score",
     "display_name",
+    "evaluate_candidates",
     "f1_score",
     "log_loss",
     "mae",
@@ -60,4 +70,6 @@ __all__ = [
     "score_predictions",
     "search_space",
     "softmax",
+    "tuning_kernel_disabled",
+    "tuning_kernel_enabled",
 ]

@@ -68,6 +68,23 @@ class Classifier(ABC):
         params.update(overrides)
         return type(self)(**params)
 
+    # -- fold-major tuning protocol -------------------------------------------
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        """Candidate-invariant per-fold precomputation for the tuning kernel.
+
+        The fold-major cross-validation kernel
+        (:mod:`repro.ml.cv_kernel`) calls this once per fold on the
+        search's prototype model; returning a
+        :class:`~repro.ml.cv_kernel.FoldWorkspace` lets every candidate
+        of the search reuse work that depends only on the fold — KNN's
+        distance matrix, naive Bayes' class statistics, CART's root
+        argsorts.  The default ``None`` opts out: candidates are fitted
+        naively on the (still shared) fold slices.  Implementations are
+        bound to the workspace's bit-identity contract.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({args})"

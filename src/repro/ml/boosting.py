@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs
-from .tree import DecisionTreeClassifier
+from .tree import DecisionTreeClassifier, RootSortWorkspace
 
 
 class AdaBoostClassifier(Classifier):
@@ -41,10 +41,25 @@ class AdaBoostClassifier(Classifier):
         self.learning_rate = learning_rate
         self.random_state = random_state
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "AdaBoostClassifier":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        root_sort_cache: dict | None = None,
+    ) -> "AdaBoostClassifier":
+        """Boost; every round's stump shares the root argsort cache.
+
+        All rounds fit the *same* training matrix (only the sample
+        weights evolve), and the root split's per-feature argsort is
+        weight-free — so one cache serves every round of this fit, and,
+        when the tuning kernel passes ``root_sort_cache`` in, every
+        search candidate too.  Cached orders equal the argsorts each
+        stump would recompute, keeping fits bit-identical.
+        """
         X, y, n_classes = check_fit_inputs(X, y)
         self.n_classes_ = n_classes
         rng = np.random.default_rng(self.random_state)
+        sort_cache = {} if root_sort_cache is None else root_sort_cache
 
         n_samples = len(y)
         weights = np.full(n_samples, 1.0 / n_samples)
@@ -56,7 +71,13 @@ class AdaBoostClassifier(Classifier):
                 max_depth=self.max_depth,
                 random_state=int(rng.integers(0, 2**31 - 1)),
             )
-            stump.fit(X, y, sample_weight=weights, n_classes=n_classes)
+            stump.fit(
+                X,
+                y,
+                sample_weight=weights,
+                n_classes=n_classes,
+                root_sort_cache=sort_cache,
+            )
             predictions = stump.predict(X)
             wrong = predictions != y
             error = float(np.sum(weights[wrong]))
@@ -97,3 +118,6 @@ class AdaBoostClassifier(Classifier):
             scores[np.arange(len(X)), votes] += alpha
         total = scores.sum(axis=1, keepdims=True)
         return scores / np.where(total == 0.0, 1.0, total)
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        return RootSortWorkspace(X_train, y_train, X_val)

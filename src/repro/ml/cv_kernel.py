@@ -1,0 +1,192 @@
+"""Fold-major cross-validation kernel with candidate-invariant workspaces.
+
+The §IV-A tuning protocol scores every random-search candidate with the
+same k-fold plan, so a search over ``c`` candidates performs ``c x k``
+fits — and most of the per-fold work does not depend on the candidate at
+all: the fold's ``(X_train, y_train, X_val, y_val)`` slices, KNN's
+train<->validation distance matrix, naive Bayes' per-class sufficient
+statistics, and the CART root split's per-feature argsorts are all pure
+functions of the fold, not of the hyper-parameters under test.  The
+candidate-major loop recomputed every one of them ``c`` times.
+
+This module turns the loop inside out.  A :class:`FoldPlanData` materializes
+each fold's slices exactly once per search; :func:`evaluate_candidates`
+then iterates **fold-major** — for each fold, every candidate is scored
+against that fold's shared data — so a per-model :class:`FoldWorkspace`
+can hoist the candidate-invariant precomputation out of the candidate
+loop.  Models opt in through
+:meth:`~repro.ml.base.Classifier.make_fold_workspace`; models without a
+workspace still share the materialized fold slices.
+
+Correctness contract (the same discipline as the split-execution and
+cleaning kernels): the kernel is a **pure optimization**.  Every
+workspace must return exactly the predictions
+``model.clone().fit(X_train, y_train).predict(X_val)`` would produce —
+same floating-point operations on the same bits, never a numerical
+shortcut — so scores, ``best_params_`` and everything downstream are
+bit-identical to the candidate-major reference path, which stays
+reachable through :func:`tuning_kernel_disabled` (and is implied by
+:func:`repro.core.runner.kernel_disabled`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+
+import numpy as np
+
+#: process-wide switch for the fold-major tuning kernel; flip only
+#: through :func:`tuning_kernel_disabled`
+_TUNING_KERNEL_ENABLED = True
+
+
+def tuning_kernel_enabled() -> bool:
+    """Whether the fold-major kernel is the default tuning path."""
+    return _TUNING_KERNEL_ENABLED
+
+
+@contextmanager
+def tuning_kernel_disabled():
+    """Run tuning on the candidate-major reference path for the block.
+
+    ``cross_val_score`` and ``RandomSearch`` fall back to cloning and
+    fitting per (candidate, fold) with no shared slices or workspaces —
+    the pre-kernel shape benchmarks time as the "before" state and the
+    parity suite holds the kernel to, bit for bit.
+    """
+    global _TUNING_KERNEL_ENABLED
+    previous = _TUNING_KERNEL_ENABLED
+    _TUNING_KERNEL_ENABLED = False
+    try:
+        yield
+    finally:
+        _TUNING_KERNEL_ENABLED = previous
+
+
+class FoldWorkspace(ABC):
+    """Per-(model family, fold) store of candidate-invariant work.
+
+    Built once per fold from ``(X_train, y_train, X_val)`` and asked to
+    score every candidate of the search against that fold.  The
+    contract is strict bit-identity: :meth:`predict_val` must return
+    exactly the array ``model.fit(X_train, y_train).predict(X_val)``
+    would, where ``model`` is the (fresh, unfitted) candidate clone —
+    workspaces may *share* computations across candidates, but every
+    shared value must be the very sequence of floating-point operations
+    the naive path performs, applied to the same inputs.
+    """
+
+    @abstractmethod
+    def predict_val(self, model) -> np.ndarray:
+        """Validation-set predictions of one unfitted candidate clone."""
+
+    def prepare(self, models) -> None:
+        """Optional hook: the fold's full candidate list, before scoring.
+
+        :func:`evaluate_candidates` announces every candidate clone it
+        is about to score, letting a workspace plan shared structures
+        that depend on the *set* of candidates — e.g. the CART
+        workspace fits each non-depth parameter group once, at the
+        deepest ``max_depth`` the group will request, instead of
+        re-fitting on every depth increase.  Purely advisory: a
+        workspace must stay correct (and bit-identical) when
+        ``predict_val`` is called without it.
+        """
+
+
+class FoldData:
+    """One fold's materialized slices plus its per-model workspaces.
+
+    The slice arrays are marked read-only: they are shared by every
+    candidate (and pinned inside fitted models, e.g. KNN's training
+    matrix), so an accidental in-place mutation would silently corrupt
+    every later candidate's scores.
+    """
+
+    __slots__ = ("X_train", "y_train", "X_val", "y_val", "_workspaces")
+
+    def __init__(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+    ) -> None:
+        self.X_train = X_train
+        self.y_train = y_train
+        self.X_val = X_val
+        self.y_val = y_val
+        for array in (X_train, y_train, X_val, y_val):
+            array.setflags(write=False)
+        self._workspaces: dict[type, FoldWorkspace | None] = {}
+
+    def workspace_for(self, model) -> FoldWorkspace | None:
+        """This fold's workspace for ``model``'s family (None = opt-out).
+
+        Built lazily from the search's prototype model and cached per
+        classifier type, so one workspace serves every candidate clone.
+        """
+        key = type(model)
+        if key not in self._workspaces:
+            self._workspaces[key] = model.make_fold_workspace(
+                self.X_train, self.y_train, self.X_val
+            )
+        return self._workspaces[key]
+
+    def release_workspaces(self) -> None:
+        """Drop cached workspaces (distance matrices, argsorts, ...)."""
+        self._workspaces.clear()
+
+
+class FoldPlanData:
+    """Each fold's ``(X_train, y_train, X_val, y_val)`` sliced exactly once.
+
+    The candidate-major loop re-applied the fancy-index slicing for
+    every (candidate, fold) pair; the values are a pure function of
+    ``(X, y, fold indices)``, so one materialization per fold serves
+    all candidates.  ``folds`` is a sequence of ``(train_idx, val_idx)``
+    pairs, e.g. from :func:`repro.ml.model_selection.kfold_plan`.
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, folds) -> None:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        self.folds = tuple(
+            FoldData(X[train_idx], y[train_idx], X[val_idx], y[val_idx])
+            for train_idx, val_idx in folds
+        )
+
+
+def evaluate_candidates(model, candidates, plan: FoldPlanData, score) -> list[float]:
+    """Mean validation score of every candidate, iterated fold-major.
+
+    ``model`` is the search's prototype; ``candidates`` is a sequence of
+    parameter-override dicts; ``score`` maps ``(y_true, y_pred)`` to a
+    float.  Bit-identity with the candidate-major loop holds because the
+    loop order is the only thing that moves: each (candidate, fold) pair
+    still gets a fresh ``model.clone(**params)`` (clone-of-prototype and
+    clone-of-clone build identical instances), the fold slices hold the
+    same bits the per-candidate fancy indexing produced, workspaces are
+    bound to bit-identity by their contract, and the per-candidate mean
+    accumulates fold scores in the same ascending-fold order.
+
+    Workspaces are released as soon as their fold's candidates are
+    scored, so peak memory holds one fold's precomputation (e.g. one
+    KNN distance matrix), not the whole plan's.
+    """
+    fold_scores: list[list[float]] = [[] for _ in candidates]
+    for fold in plan.folds:
+        clones = [model.clone(**params) for params in candidates]
+        workspace = fold.workspace_for(model)
+        if workspace is not None:
+            workspace.prepare(clones)
+        for scores, candidate in zip(fold_scores, clones):
+            if workspace is not None:
+                predictions = workspace.predict_val(candidate)
+            else:
+                candidate.fit(fold.X_train, fold.y_train)
+                predictions = candidate.predict(fold.X_val)
+            scores.append(score(fold.y_val, predictions))
+        fold.release_workspaces()
+    return [float(np.mean(scores)) for scores in fold_scores]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs
-from .tree import DecisionTreeClassifier
+from .tree import DecisionTreeClassifier, RootSortWorkspace
 
 
 class RandomForestClassifier(Classifier):
@@ -40,13 +40,33 @@ class RandomForestClassifier(Classifier):
         self.max_features = max_features
         self.random_state = random_state
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        root_sort_cache: dict | None = None,
+    ) -> "RandomForestClassifier":
+        """Fit the forest; per-tree root argsorts may be shared.
+
+        The bootstrap and per-tree seed draws are a pure function of
+        ``random_state``, so two fits on the same ``(X, y)`` that agree
+        on ``random_state`` grow tree ``i`` on the *same* bootstrap
+        sample — which is how the tuning kernel shares root argsorts
+        across search candidates that only vary depth/width knobs:
+        ``root_sort_cache`` nests one sub-cache per ``(random_state,
+        tree index)``, each valid for that tree's (recreated but
+        value-identical) bootstrap matrix.  A candidate with more trees
+        extends the draw sequence past a smaller candidate's, so cached
+        prefixes still align; a candidate with a *different*
+        ``random_state`` keys disjoint sub-caches, and an unseeded
+        forest (nondeterministic bootstraps) opts out entirely.
+        """
         X, y, n_classes = check_fit_inputs(X, y)
         self.n_classes_ = n_classes
         rng = np.random.default_rng(self.random_state)
         self.estimators_: list[DecisionTreeClassifier] = []
         n_samples = len(X)
-        for _ in range(self.n_estimators):
+        for index in range(self.n_estimators):
             bootstrap = rng.integers(0, n_samples, size=n_samples)
             tree = DecisionTreeClassifier(
                 max_depth=self.max_depth,
@@ -55,7 +75,17 @@ class RandomForestClassifier(Classifier):
                 max_features=self.max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
             )
-            tree.fit(X[bootstrap], y[bootstrap], n_classes=n_classes)
+            tree_cache = None
+            if root_sort_cache is not None and self.random_state is not None:
+                tree_cache = root_sort_cache.setdefault(
+                    (self.random_state, index), {}
+                )
+            tree.fit(
+                X[bootstrap],
+                y[bootstrap],
+                n_classes=n_classes,
+                root_sort_cache=tree_cache,
+            )
             self.estimators_.append(tree)
         return self
 
@@ -65,3 +95,6 @@ class RandomForestClassifier(Classifier):
         for tree in self.estimators_:
             total += tree.predict_proba(X)
         return total / len(self.estimators_)
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        return RootSortWorkspace(X_train, y_train, X_val)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs, one_hot, softmax
+from .tree import DecisionTreeClassifier, RootSortWorkspace
 
 _EPS = 1e-12
 
@@ -47,8 +48,24 @@ class _GradientTree:
         self.gamma = gamma
         self.min_child_weight = min_child_weight
 
-    def fit(self, X: np.ndarray, grad: np.ndarray, hess: np.ndarray) -> "_GradientTree":
+    def fit(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        root_sort_cache: dict | None = None,
+    ) -> "_GradientTree":
+        """Grow the tree; ``root_sort_cache`` shares root argsorts.
+
+        The root's per-feature stable argsort depends only on ``X`` —
+        never on the (gradient, hessian) targets — so fits on the same
+        matrix (boosting rounds, classes, search candidates) may pass
+        one shared ``feature -> order`` dict, filled lazily.  Cached
+        orders equal the argsorts the root would recompute.
+        """
+        self._root_sort_cache = root_sort_cache
         self._root = self._build(X, grad, hess, depth=0)
+        self._root_sort_cache = None
         return self
 
     def _leaf_value(self, grad_sum: float, hess_sum: float) -> float:
@@ -62,7 +79,14 @@ class _GradientTree:
         if depth >= self.max_depth or len(X) < 2:
             return node
 
-        split = self._best_split(X, grad, hess, grad_sum, hess_sum)
+        split = self._best_split(
+            X,
+            grad,
+            hess,
+            grad_sum,
+            hess_sum,
+            sort_cache=self._root_sort_cache if depth == 0 else None,
+        )
         if split is None:
             return node
         feature, threshold = split
@@ -80,12 +104,13 @@ class _GradientTree:
         hess: np.ndarray,
         grad_sum: float,
         hess_sum: float,
+        sort_cache: dict | None = None,
     ) -> tuple[int, float] | None:
         parent_score = grad_sum**2 / (hess_sum + self.reg_lambda + _EPS)
         best_gain = _EPS
         best: tuple[int, float] | None = None
         for feature in range(X.shape[1]):
-            order = np.argsort(X[:, feature], kind="stable")
+            order = DecisionTreeClassifier._feature_order(X, feature, sort_cache)
             sorted_x = X[order, feature]
             cum_grad = np.cumsum(grad[order])
             cum_hess = np.cumsum(hess[order])
@@ -169,7 +194,26 @@ class XGBoostClassifier(Classifier):
         self.subsample = subsample
         self.random_state = random_state
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "XGBoostClassifier":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        root_sort_cache: dict | None = None,
+    ) -> "XGBoostClassifier":
+        """Boost; full-sample rounds share one root argsort cache.
+
+        With ``subsample >= 1.0`` (the default, and the only mode the
+        registry search space exercises) every round and class grows
+        its tree on the *same* matrix, so the trees share a root
+        argsort cache — internally across rounds x classes, and across
+        search candidates when the tuning kernel passes
+        ``root_sort_cache`` in.  The former ``X[rows]`` /
+        ``grad_all[rows, cls]`` fancy indexing with ``rows ==
+        arange(n)`` copied the matrix and gradients every round for
+        nothing; fitting the originals is value-identical.  Subsampled
+        rounds keep the per-round copies and skip the cache (their row
+        sets differ), so the knob still behaves exactly as before.
+        """
         X, y, n_classes = check_fit_inputs(X, y)
         self.n_classes_ = n_classes
         rng = np.random.default_rng(self.random_state)
@@ -178,17 +222,21 @@ class XGBoostClassifier(Classifier):
         n_samples = len(X)
         scores = np.zeros((n_samples, n_classes))
         self.trees_: list[list[_GradientTree]] = []
+        full_sample = self.subsample >= 1.0
+        sort_cache: dict | None = None
+        if full_sample:
+            sort_cache = {} if root_sort_cache is None else root_sort_cache
 
         for _ in range(self.n_estimators):
             proba = softmax(scores)
             grad_all = proba - targets
             hess_all = proba * (1.0 - proba)
 
-            if self.subsample < 1.0:
+            if full_sample:
+                rows = None
+            else:
                 size = max(2, int(round(self.subsample * n_samples)))
                 rows = rng.choice(n_samples, size=size, replace=False)
-            else:
-                rows = np.arange(n_samples)
 
             round_trees: list[_GradientTree] = []
             for cls in range(n_classes):
@@ -198,7 +246,15 @@ class XGBoostClassifier(Classifier):
                     gamma=self.gamma,
                     min_child_weight=self.min_child_weight,
                 )
-                tree.fit(X[rows], grad_all[rows, cls], hess_all[rows, cls])
+                if rows is None:
+                    tree.fit(
+                        X,
+                        grad_all[:, cls],
+                        hess_all[:, cls],
+                        root_sort_cache=sort_cache,
+                    )
+                else:
+                    tree.fit(X[rows], grad_all[rows, cls], hess_all[rows, cls])
                 scores[:, cls] += self.learning_rate * tree.predict(X)
                 round_trees.append(tree)
             self.trees_.append(round_trees)
@@ -215,3 +271,6 @@ class XGBoostClassifier(Classifier):
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         return softmax(self.decision_function(X))
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        return RootSortWorkspace(X_train, y_train, X_val)

@@ -3,6 +3,15 @@
 The CleanML protocol (§IV-A step 3) performs "hyper-parameter tunings
 using standard random search and 5-fold cross validation".  The search
 budget is configurable so laptop-scale study runs stay tractable.
+
+Tuning runs **fold-major** by default: the shared fold plan is
+materialized once (:class:`~repro.ml.cv_kernel.FoldPlanData`), and per-model
+:class:`~repro.ml.cv_kernel.FoldWorkspace`s hoist candidate-invariant
+work — KNN's distance matrix, naive Bayes' class statistics, CART root
+argsorts — out of the candidate loop, bit-identical to the
+candidate-major reference path that
+:func:`~repro.ml.cv_kernel.tuning_kernel_disabled` (or the runner's
+``kernel_disabled``) switches back in.
 """
 
 from __future__ import annotations
@@ -13,6 +22,7 @@ import numpy as np
 
 from ..table.split import kfold_indices
 from .base import Classifier
+from .cv_kernel import FoldPlanData, evaluate_candidates, tuning_kernel_enabled
 from .metrics import accuracy, f1_score
 
 
@@ -29,8 +39,9 @@ def kfold_plan(
     needs to serve *recent* same-input calls, and runner CV seeds are
     distinct by construction, so it is kept deliberately tiny rather
     than letting dead fold arrays accumulate for the process lifetime.
-    Callers must treat the returned arrays as read-only; ``seed=None``
-    keeps the uncached entropy-seeded behavior.
+    Cached index arrays are marked read-only (an in-place mutation
+    would silently corrupt every later consumer of the shared plan);
+    ``seed=None`` keeps the uncached entropy-seeded behavior.
     """
     if seed is None:
         return tuple(kfold_indices(n_rows, n_folds, np.random.default_rng()))
@@ -39,7 +50,11 @@ def kfold_plan(
 
 @lru_cache(maxsize=8)
 def _kfold_plan_cached(n_rows: int, n_folds: int, seed: int):
-    return tuple(kfold_indices(n_rows, n_folds, np.random.default_rng(seed)))
+    pairs = tuple(kfold_indices(n_rows, n_folds, np.random.default_rng(seed)))
+    for train_idx, val_idx in pairs:
+        train_idx.setflags(write=False)
+        val_idx.setflags(write=False)
+    return pairs
 
 
 def score_predictions(
@@ -62,6 +77,7 @@ def cross_val_score(
     positive: int | None = None,
     seed: int | None = None,
     folds: tuple | list | None = None,
+    fold_major: bool | None = None,
 ) -> float:
     """Mean validation score over k folds (model refitted per fold).
 
@@ -72,15 +88,35 @@ def cross_val_score(
     :func:`kfold_plan` — skips fold derivation entirely; when omitted,
     folds are derived from ``seed`` through the memoized plan, which is
     identical to drawing them from a fresh ``default_rng(seed)``.
+
+    ``fold_major`` routes scoring through the fold-major kernel (shared
+    fold slices and, with multiple candidates in :class:`RandomSearch`,
+    shared workspaces); ``None`` defers to the process-wide switch.
+    Both paths produce bit-identical scores.  The model passed in is
+    never fitted — every fold (and the degenerate ``n_folds < 2``
+    train-equals-validation fallback) scores a fresh clone.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.int64)
     if folds is None:
         n_folds = min(n_folds, len(y))
         if n_folds < 2:
-            model.fit(X, y)
-            return score_predictions(y, model.predict(X), metric, positive)
+            probe = model.clone()
+            probe.fit(X, y)
+            return score_predictions(y, probe.predict(X), metric, positive)
         folds = kfold_plan(len(y), n_folds, seed)
+    if fold_major is None:
+        fold_major = tuning_kernel_enabled()
+    if fold_major:
+        plan = FoldPlanData(X, y, folds)
+        return evaluate_candidates(
+            model,
+            [{}],
+            plan,
+            lambda y_true, y_pred: score_predictions(
+                y_true, y_pred, metric, positive
+            ),
+        )[0]
     scores = []
     for train_idx, val_idx in folds:
         fold_model = model.clone()
@@ -117,6 +153,12 @@ class RandomSearch:
     ``n_iter=0`` means "use the model's default parameters" — the cheap
     mode benchmarks use.  The default configuration is always evaluated,
     so the search can only improve on it.
+
+    ``fold_major`` — ``True`` forces the fold-major tuning kernel,
+    ``False`` the candidate-major reference path, ``None`` (default)
+    defers to the process-wide switch.  The runner threads its kernel
+    switch through here so ``kernel_disabled()`` studies stay on the
+    reference path end to end.
     """
 
     def __init__(
@@ -128,6 +170,7 @@ class RandomSearch:
         metric: str = "accuracy",
         positive: int | None = None,
         seed: int | None = None,
+        fold_major: bool | None = None,
     ) -> None:
         self.model = model
         self.space = space or {}
@@ -136,6 +179,7 @@ class RandomSearch:
         self.metric = metric
         self.positive = positive
         self.seed = seed
+        self.fold_major = fold_major
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomSearch":
         """Search, then refit the best configuration on all of (X, y).
@@ -149,7 +193,16 @@ class RandomSearch:
         the change applies on every execution path (it is an
         algorithmic improvement, not a cache, so ``kernel_disabled``
         does not revert it).
+
+        Candidate scoring itself iterates **fold-major** through the
+        shared :class:`~repro.ml.cv_kernel.FoldPlanData` so per-model
+        workspaces amortize candidate-invariant work; the resulting
+        scores — and hence ``best_params_`` / ``best_score_``, picked
+        by the same first-strictly-better scan in candidate order —
+        are bit-identical to the candidate-major reference path.
         """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
         rng = np.random.default_rng(self.seed)
         candidates = [dict()]
         if self.space and self.n_iter > 0:
@@ -160,19 +213,37 @@ class RandomSearch:
         if n_folds >= 2:
             folds = kfold_plan(len(y), n_folds, int(rng.integers(0, 2**31 - 1)))
 
+        fold_major = self.fold_major
+        if fold_major is None:
+            fold_major = tuning_kernel_enabled()
+
+        if folds is not None and fold_major:
+            scores = evaluate_candidates(
+                self.model,
+                candidates,
+                FoldPlanData(X, y, folds),
+                lambda y_true, y_pred: score_predictions(
+                    y_true, y_pred, self.metric, self.positive
+                ),
+            )
+        else:
+            scores = [
+                cross_val_score(
+                    self.model.clone(**params),
+                    X,
+                    y,
+                    n_folds=self.n_folds,
+                    metric=self.metric,
+                    positive=self.positive,
+                    folds=folds,
+                    fold_major=fold_major,
+                )
+                for params in candidates
+            ]
+
         self.best_score_ = -np.inf
         self.best_params_: dict = {}
-        for params in candidates:
-            candidate = self.model.clone(**params)
-            score = cross_val_score(
-                candidate,
-                X,
-                y,
-                n_folds=self.n_folds,
-                metric=self.metric,
-                positive=self.positive,
-                folds=folds,
-            )
+        for params, score in zip(candidates, scores):
             if score > self.best_score_:
                 self.best_score_ = score
                 self.best_params_ = params

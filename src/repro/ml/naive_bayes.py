@@ -3,6 +3,13 @@
 The paper's "Gaussian Naive Bayes" operates on the encoded feature matrix
 (standardized numerics + one-hot categoricals); a variance floor keeps
 one-hot columns from producing degenerate likelihoods.
+
+Fitting decomposes into per-class sufficient statistics (counts, means,
+raw variances, priors, the global variance) that depend only on
+``(X, y)``, plus a smoothing step that is the only part touched by the
+``var_smoothing`` hyper-parameter.  The fold-major tuning kernel caches
+the statistics once per CV fold (:class:`_NBFoldWorkspace`) so search
+candidates re-derive nothing but the smoothed variance.
 """
 
 from __future__ import annotations
@@ -10,6 +17,41 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs
+from .cv_kernel import FoldWorkspace
+
+
+class _ClassStatistics:
+    """Sufficient statistics of one ``(X, y)`` fit, hyper-parameter-free.
+
+    Holds exactly the arrays :meth:`GaussianNB.fit` derives before
+    smoothing — per-class counts, means (``theta``), *raw* variances
+    (no smoothing term), log priors, and the global variance the
+    smoothing epsilon scales — each computed by the same numpy
+    expressions the monolithic fit used, so applying them reproduces
+    that fit bit for bit.  The arrays are frozen because one instance
+    is shared by every candidate of a search.
+    """
+
+    __slots__ = ("n_classes", "counts", "theta", "raw_var", "log_prior", "global_var")
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, n_classes: int) -> None:
+        n_features = X.shape[1]
+        self.n_classes = n_classes
+        self.counts = np.zeros(n_classes, dtype=np.int64)
+        self.theta = np.zeros((n_classes, n_features))
+        self.raw_var = np.ones((n_classes, n_features))
+        self.log_prior = np.full(n_classes, -np.inf)
+        self.global_var = float(X.var(axis=0).max()) if X.size else 1.0
+        for cls in range(n_classes):
+            members = X[y == cls]
+            self.counts[cls] = len(members)
+            if len(members) == 0:
+                continue
+            self.theta[cls] = members.mean(axis=0)
+            self.raw_var[cls] = members.var(axis=0)
+            self.log_prior[cls] = np.log(len(members) / len(X))
+        for array in (self.counts, self.theta, self.raw_var, self.log_prior):
+            array.setflags(write=False)
 
 
 class GaussianNB(Classifier):
@@ -27,22 +69,26 @@ class GaussianNB(Classifier):
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
         X, y, n_classes = check_fit_inputs(X, y)
-        self.n_classes_ = n_classes
-        n_features = X.shape[1]
-        self.theta_ = np.zeros((n_classes, n_features))
-        self.var_ = np.ones((n_classes, n_features))
-        self.class_log_prior_ = np.full(n_classes, -np.inf)
+        return self._apply_statistics(_ClassStatistics(X, y, n_classes))
 
-        global_var = X.var(axis=0).max() if X.size else 1.0
-        epsilon = self.var_smoothing * max(global_var, 1e-12)
-        for cls in range(n_classes):
-            members = X[y == cls]
-            if len(members) == 0:
-                continue
-            self.theta_[cls] = members.mean(axis=0)
-            self.var_[cls] = members.var(axis=0) + epsilon
-            self.class_log_prior_[cls] = np.log(len(members) / len(X))
-        self.var_ = np.maximum(self.var_, 1e-12)
+    def _apply_statistics(self, stats: _ClassStatistics) -> "GaussianNB":
+        """Finish a fit from cached statistics: only smoothing remains.
+
+        Mirrors the monolithic fit exactly: non-empty classes get
+        ``raw_var + epsilon`` (the same scalar broadcast add), empty
+        classes keep the neutral variance 1.0, and the 1e-12 floor is
+        applied to every row.  ``theta_`` and ``class_log_prior_``
+        alias the (frozen) cached arrays — they are never mutated after
+        fitting.
+        """
+        self.n_classes_ = stats.n_classes
+        epsilon = self.var_smoothing * max(stats.global_var, 1e-12)
+        self.theta_ = stats.theta
+        var = np.ones_like(stats.raw_var)
+        fitted = stats.counts > 0
+        var[fitted] = stats.raw_var[fitted] + epsilon
+        self.var_ = np.maximum(var, 1e-12)
+        self.class_log_prior_ = stats.log_prior
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -61,3 +107,23 @@ class GaussianNB(Classifier):
         shifted = joint - joint.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        return _NBFoldWorkspace(X_train, y_train, X_val)
+
+
+class _NBFoldWorkspace(FoldWorkspace):
+    """Per-fold class statistics shared across ``var_smoothing`` candidates.
+
+    Every candidate "fit" collapses to :meth:`GaussianNB._apply_statistics`
+    — one scalar epsilon, one broadcast add, one floor — instead of a
+    full pass over the fold's rows.
+    """
+
+    def __init__(self, X_train, y_train, X_val) -> None:
+        X, y, n_classes = check_fit_inputs(X_train, y_train)
+        self._stats = _ClassStatistics(X, y, n_classes)
+        self._X_val = X_val
+
+    def predict_val(self, model) -> np.ndarray:
+        return model._apply_statistics(self._stats).predict(self._X_val)

@@ -5,6 +5,14 @@ sorted once and every threshold is scored in a single cumulative-sum pass
 over the weighted one-hot label matrix.  Sample weights make the same
 builder serve AdaBoost; a ``max_features`` knob makes it serve the random
 forest.
+
+The root split's per-feature ``argsort`` depends only on the training
+matrix — never on depth/leaf hyper-parameters or sample weights — so
+fits that share a training matrix can share it: ``fit`` accepts a
+``root_sort_cache`` dict that the fold-major tuning kernel
+(:class:`RootSortWorkspace`) carries across search candidates, AdaBoost
+carries across boosting rounds, and XGBoost carries across rounds and
+classes.
 """
 
 from __future__ import annotations
@@ -12,8 +20,16 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs, one_hot
+from .cv_kernel import FoldWorkspace
 
 _EPS = 1e-12
+
+#: per-block element budget of the vectorized split search (the
+#: (rows, features, classes) cumsum is the largest temporary; 2^23
+#: float64 elements = 64MB).  Wider candidate sets are processed in
+#: feature chunks — per-feature best gains are chunk-independent, so
+#: the result is unaffected.
+_SPLIT_BLOCK_ELEMENTS = 1 << 23
 
 
 class _Node:
@@ -66,6 +82,7 @@ class DecisionTreeClassifier(Classifier):
         y: np.ndarray,
         sample_weight: np.ndarray | None = None,
         n_classes: int | None = None,
+        root_sort_cache: dict | None = None,
     ) -> "DecisionTreeClassifier":
         """Train the tree.
 
@@ -73,6 +90,15 @@ class DecisionTreeClassifier(Classifier):
         ensemble methods (random forest bootstraps, AdaBoost rounds) use
         it so every tree emits probability vectors of the same width even
         when a resample misses a class.
+
+        ``root_sort_cache`` shares the root split's per-feature stable
+        argsorts between fits: entries map ``feature -> argsort`` of the
+        exact training matrix passed here, filled lazily on first use.
+        Callers must only reuse a cache across fits whose training
+        matrices are value-identical row for row — then every cached
+        order equals the argsort the root would recompute, so the fitted
+        tree is bit-identical.  Child nodes sort their (weight-dependent)
+        row subsets as before.
         """
         X, y, observed = check_fit_inputs(X, y)
         n_classes = observed if n_classes is None else max(int(n_classes), observed)
@@ -86,8 +112,12 @@ class DecisionTreeClassifier(Classifier):
             if np.any(sample_weight < 0):
                 raise ValueError("sample weights must be non-negative")
         self._rng = np.random.default_rng(self.random_state)
+        self._root_sort_cache = root_sort_cache
         weighted_labels = sample_weight[:, None] * one_hot(y, n_classes)
         self._root = self._build(X, weighted_labels, depth=0)
+        # the cache is only valid for this fit's training matrix; do not
+        # let it outlive the call through the fitted model
+        self._root_sort_cache = None
         return self
 
     def _build(self, X: np.ndarray, wy: np.ndarray, depth: int) -> _Node:
@@ -105,7 +135,9 @@ class DecisionTreeClassifier(Classifier):
         ):
             return node
 
-        split = self._best_split(X, wy)
+        split = self._best_split(
+            X, wy, sort_cache=self._root_sort_cache if depth == 0 else None
+        )
         if split is None:
             return node
 
@@ -117,8 +149,27 @@ class DecisionTreeClassifier(Classifier):
         node.right = self._build(X[~left_mask], wy[~left_mask], depth + 1)
         return node
 
+    #: process-wide switch for the feature-vectorized split search;
+    #: ``repro.core.runner.kernel_disabled`` flips it to time/verify the
+    #: per-feature reference loop (the pre-kernel implementation)
+    vectorized_split = True
+
     def _best_split(
-        self, X: np.ndarray, wy: np.ndarray
+        self, X: np.ndarray, wy: np.ndarray, sort_cache: dict | None = None
+    ) -> tuple[int, float] | None:
+        """Best (feature, threshold) by weighted Gini gain, or ``None``.
+
+        Dispatches to the feature-vectorized search; the per-feature
+        loop survives as :meth:`_best_split_reference`, the executable
+        spec the vectorized path is pinned against bit for bit (same
+        discipline as the encoder's ``_transform_reference``).
+        """
+        if self.vectorized_split:
+            return self._best_split_vectorized(X, wy, sort_cache)
+        return self._best_split_reference(X, wy, sort_cache)
+
+    def _best_split_reference(
+        self, X: np.ndarray, wy: np.ndarray, sort_cache: dict | None = None
     ) -> tuple[int, float] | None:
         n_samples, n_features = X.shape
         candidates = self._candidate_features(n_features)
@@ -130,7 +181,7 @@ class DecisionTreeClassifier(Classifier):
         best_gain = _EPS
         best: tuple[int, float] | None = None
         for feature in candidates:
-            order = np.argsort(X[:, feature], kind="stable")
+            order = self._feature_order(X, feature, sort_cache)
             sorted_x = X[order, feature]
             cum_wy = np.cumsum(wy[order], axis=0)
 
@@ -162,6 +213,104 @@ class DecisionTreeClassifier(Classifier):
                 best = (feature, float(threshold))
         return best
 
+    def _best_split_vectorized(
+        self, X: np.ndarray, wy: np.ndarray, sort_cache: dict | None = None
+    ) -> tuple[int, float] | None:
+        """One broadcast pass over every candidate feature at once.
+
+        The reference loop pays ~8 small numpy calls per feature per
+        node — on wide one-hot matrices that Python overhead, not the
+        sorting, dominates tree building.  This path evaluates
+        candidate columns together on an ``(n_samples - 1, features)``
+        gain matrix; every arithmetic step applies the reference's
+        elementwise formula per column, cumsums stay sequential per
+        lane, and the (first-maximum) ``argmax`` selection reproduces
+        the reference's "strictly greater beats earlier feature" scan —
+        so the chosen split is bit-identical, which
+        ``tests/test_tuning_kernel.py`` pins against the reference on
+        every node of real and adversarial trees.
+
+        The broadcast block is ``O(rows x features x classes)``, so
+        features are processed in chunks sized to keep the temporaries
+        near :data:`_SPLIT_BLOCK_ELEMENTS`; per-feature best gains are
+        chunk-independent, so the final cross-feature scan is
+        unchanged.
+        """
+        n_samples, n_features = X.shape
+        candidates = self._candidate_features(n_features)
+
+        counts = wy.sum(axis=0)
+        total_weight = counts.sum()
+        parent_impurity = _gini(counts)
+
+        leaf = self.min_samples_leaf
+        position = np.arange(1, n_samples)
+        bounds_ok = (position >= leaf) & (position <= n_samples - leaf)
+
+        n_candidates = len(candidates)
+        chunk = max(
+            1, _SPLIT_BLOCK_ELEMENTS // max(n_samples * wy.shape[1], 1)
+        )
+        best_gain = np.full(n_candidates, -np.inf)
+        best_threshold = np.zeros(n_candidates)
+        for start in range(0, n_candidates, chunk):
+            selected = candidates[start : start + chunk]
+            if sort_cache is not None:
+                orders = np.empty((n_samples, len(selected)), dtype=np.intp)
+                for column, feature in enumerate(selected):
+                    orders[:, column] = self._feature_order(X, feature, sort_cache)
+                columns = X[:, selected]
+            else:
+                columns = X[:, selected]
+                orders = np.argsort(columns, axis=0, kind="stable")
+            sorted_x = np.take_along_axis(columns, orders, axis=0)
+            cum_wy = np.cumsum(wy[orders], axis=0)  # (rows, features, classes)
+
+            # a split between positions i and i+1 requires a value
+            # change and min_samples_leaf rows on both sides
+            valid = sorted_x[1:] > sorted_x[:-1] + _EPS
+            valid &= bounds_ok[:, None]
+            if not np.any(valid):
+                continue
+
+            left_counts = cum_wy[:-1]
+            right_counts = counts[None, None, :] - left_counts
+            left_weight = left_counts.sum(axis=2)
+            right_weight = right_counts.sum(axis=2)
+            left_gini = _gini_planes(left_counts, left_weight)
+            right_gini = _gini_planes(right_counts, right_weight)
+            weighted = (left_weight * left_gini + right_weight * right_gini) / max(
+                total_weight, _EPS
+            )
+            gains = parent_impurity - weighted
+            gains[~valid] = -np.inf
+
+            per_feature = gains.max(axis=0)
+            splits_at = np.argmax(gains, axis=0) + 1
+            best_gain[start : start + len(selected)] = per_feature
+            best_threshold[start : start + len(selected)] = 0.5 * (
+                np.take_along_axis(sorted_x, (splits_at - 1)[None, :], 0)[0]
+                + np.take_along_axis(sorted_x, splits_at[None, :], 0)[0]
+            )
+
+        column = int(np.argmax(best_gain))
+        if not best_gain[column] > _EPS:
+            return None
+        return (int(candidates[column]), float(best_threshold[column]))
+
+    @staticmethod
+    def _feature_order(
+        X: np.ndarray, feature: int, sort_cache: dict | None
+    ) -> np.ndarray:
+        if sort_cache is None:
+            return np.argsort(X[:, feature], kind="stable")
+        order = sort_cache.get(int(feature))
+        if order is None:
+            order = np.argsort(X[:, feature], kind="stable")
+            order.setflags(write=False)
+            sort_cache[int(feature)] = order
+        return order
+
     def _candidate_features(self, n_features: int) -> np.ndarray:
         if self.max_features is None:
             return np.arange(n_features)
@@ -175,23 +324,43 @@ class DecisionTreeClassifier(Classifier):
 
     # -- prediction -----------------------------------------------------------
 
-    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+    def predict_proba(
+        self, X: np.ndarray, depth_limit: int | None = None
+    ) -> np.ndarray:
+        """Class probabilities; ``depth_limit`` truncates the routing.
+
+        Every internal node stores the class distribution of its
+        training subset (computed *before* the stopping checks), so
+        emitting ``node.proba`` at depth ``d`` yields exactly the
+        probabilities a tree fitted with ``max_depth=d`` — identical
+        splits above ``d``, because the split search never consults the
+        depth — would produce.  The tuning kernel uses this to serve
+        every ``max_depth`` candidate from one deep tree.
+        """
         X = np.asarray(X, dtype=np.float64)
         out = np.empty((len(X), self.n_classes_))
-        self._route(self._root, X, np.arange(len(X)), out)
+        self._route(self._root, X, np.arange(len(X)), out, depth_limit, 0)
         return out
 
     def _route(
-        self, node: _Node, X: np.ndarray, indices: np.ndarray, out: np.ndarray
+        self,
+        node: _Node,
+        X: np.ndarray,
+        indices: np.ndarray,
+        out: np.ndarray,
+        depth_limit: int | None = None,
+        depth: int = 0,
     ) -> None:
         if len(indices) == 0:
             return
-        if node.feature is None:
+        if node.feature is None or (
+            depth_limit is not None and depth >= depth_limit
+        ):
             out[indices] = node.proba
             return
         go_left = X[indices, node.feature] <= node.threshold
-        self._route(node.left, X, indices[go_left], out)
-        self._route(node.right, X, indices[~go_left], out)
+        self._route(node.left, X, indices[go_left], out, depth_limit, depth + 1)
+        self._route(node.right, X, indices[~go_left], out, depth_limit, depth + 1)
 
     # -- introspection ----------------------------------------------------------
 
@@ -202,6 +371,115 @@ class DecisionTreeClassifier(Classifier):
     def n_leaves(self) -> int:
         """Number of leaves in the fitted tree."""
         return _leaves(self._root)
+
+    def make_fold_workspace(self, X_train, y_train, X_val):
+        return _TreeFoldWorkspace(X_train, y_train, X_val)
+
+
+class _TreeFoldWorkspace(FoldWorkspace):
+    """Depth candidates share one deep tree; the rest share root argsorts.
+
+    CART's split search is depth-independent — ``max_depth`` only stops
+    the recursion, and every node's class distribution is computed
+    before the stopping checks — so the tree fitted with
+    ``max_depth=d`` is exactly any deeper-fitted tree (same non-depth
+    parameters) truncated at depth ``d``.  The workspace keeps the
+    deepest tree fitted so far per group of non-depth parameters:
+    candidates the stored tree covers are answered by depth-limited
+    routing, bit-identical to the bounded refit; deeper candidates are
+    fitted for real (sharing the fold's root argsorts) and become the
+    new group tree.  Fit work is therefore never *more* than the naive
+    path's — at worst (candidates arriving shallowest-first) it matches
+    it, at best one fit serves the whole group.
+
+    Candidates that subsample features (``max_features`` set) always
+    take the real-refit fallback: feature subsampling consumes the
+    per-node rng in build order, and a deeper recursion would shift the
+    stream at the extra nodes.
+    """
+
+    def __init__(self, X_train, y_train, X_val) -> None:
+        self.X_train = X_train
+        self.y_train = y_train
+        self.X_val = X_val
+        self.root_orders: dict = {}
+        #: (min_samples_split, min_samples_leaf) -> (built_depth, tree)
+        self._deep_trees: dict[tuple, tuple[int | None, DecisionTreeClassifier]] = {}
+        #: group key -> deepest max_depth any announced candidate requests
+        self._group_depth: dict[tuple, int | None] = {}
+
+    @staticmethod
+    def _group_key(model) -> tuple:
+        return (model.min_samples_split, model.min_samples_leaf)
+
+    def prepare(self, models) -> None:
+        """Record each group's deepest requested ``max_depth`` up front.
+
+        Knowing the whole candidate list turns the per-group fit count
+        from "one per depth record" (candidates arriving shallowest
+        first refit repeatedly) into exactly one, built at the group
+        maximum and truncated for everyone else.
+        """
+        for model in models:
+            if model.max_features is not None:
+                continue
+            key = self._group_key(model)
+            deepest = self._group_depth.get(key, 0)
+            if deepest is None or model.max_depth is None:
+                self._group_depth[key] = None
+            else:
+                self._group_depth[key] = max(deepest, model.max_depth)
+
+    def predict_val(self, model) -> np.ndarray:
+        if model.max_features is not None:
+            model.fit(self.X_train, self.y_train, root_sort_cache=self.root_orders)
+            return model.predict(self.X_val)
+        key = self._group_key(model)
+        entry = self._deep_trees.get(key)
+        covered = entry is not None and (
+            entry[0] is None
+            or (model.max_depth is not None and model.max_depth <= entry[0])
+        )
+        if not covered:
+            build_depth = model.max_depth
+            if key in self._group_depth:
+                announced = self._group_depth[key]
+                if announced is None or (
+                    build_depth is not None and announced > build_depth
+                ):
+                    build_depth = announced
+            deep = model.clone(max_depth=build_depth)
+            deep.fit(self.X_train, self.y_train, root_sort_cache=self.root_orders)
+            entry = (build_depth, deep)
+            self._deep_trees[key] = entry
+        proba = entry[1].predict_proba(self.X_val, depth_limit=model.max_depth)
+        return np.argmax(proba, axis=1)
+
+
+class RootSortWorkspace(FoldWorkspace):
+    """Shared root-split sort orders for the CART family's candidates.
+
+    One lazily-filled cache dict rides through every candidate's
+    ``fit(..., root_sort_cache=...)``: AdaBoost threads it
+    (``feature -> argsort`` of the fold's training matrix) into every
+    boosting round (all stumps fit the full matrix); XGBoost into every
+    round and class; the random forest nests per-tree sub-caches keyed
+    by ``(random_state, tree index)``, valid because its bootstrap
+    draws are a pure function of ``random_state`` and so identical
+    across candidates.  Candidate hyper-parameters (depth,
+    leaf sizes, learning rate, sample weights) never influence a root
+    argsort, so reuse is bit-exact.
+    """
+
+    def __init__(self, X_train, y_train, X_val) -> None:
+        self.X_train = X_train
+        self.y_train = y_train
+        self.X_val = X_val
+        self.root_orders: dict = {}
+
+    def predict_val(self, model) -> np.ndarray:
+        model.fit(self.X_train, self.y_train, root_sort_cache=self.root_orders)
+        return model.predict(self.X_val)
 
 
 def _gini(counts: np.ndarray) -> float:
@@ -216,6 +494,13 @@ def _gini_rows(counts: np.ndarray, weights: np.ndarray) -> np.ndarray:
     safe = np.maximum(weights, _EPS)[:, None]
     proportions = counts / safe
     return 1.0 - np.sum(proportions**2, axis=1)
+
+
+def _gini_planes(counts: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """:func:`_gini_rows` broadcast over a (rows, features, classes) block."""
+    safe = np.maximum(weights, _EPS)[:, :, None]
+    proportions = counts / safe
+    return 1.0 - np.sum(proportions**2, axis=2)
 
 
 def _depth(node: _Node) -> int:
