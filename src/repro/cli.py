@@ -69,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes; results are bit-identical "
                           "for any job count")
+    run.add_argument("--granularity", default="split",
+                     choices=("split", "cell", "fold"),
+                     help="scheduling granularity: split (one task per "
+                          "split), cell (one sub-unit per (method, model) "
+                          "cell — keeps every worker busy when --splits < "
+                          "--jobs), or fold (cells plus per-CV-fold "
+                          "sub-units); results are bit-identical for any "
+                          "choice")
     run.add_argument("--checkpoint", default=None, metavar="PATH",
                      help="task-ledger file: completed splits recorded "
                           "there are skipped, new ones appended (resume "
@@ -158,6 +166,7 @@ def command_run(args) -> int:
         progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr),
         n_jobs=args.jobs,
         checkpoint=args.checkpoint,
+        granularity=args.granularity,
     )
     print(render_error_type_report(database, args.error_type))
     sizes = relation_sizes(database)

@@ -28,13 +28,34 @@ pool starts, and per-task submissions carry only the small
 ``(dataset, error type, split)`` key — ``n_splits``-fold re-pickling of
 the same tables is gone.
 
+Two-level scheduling
+--------------------
+A split task can itself decompose into sub-units when a study has
+fewer splits than the machine has cores: ``granularity="cell"``
+schedules one sub-unit per (cleaning method, model) cell of each split,
+and ``granularity="fold"`` additionally fans each cell's
+cross-validation out one fold per sub-unit (scored first, in a wave
+whose winners the second wave's cells fit directly).  Sub-units run on
+the same pool with work-stealing; each worker shares per-split state —
+detector fits, encodings, dirty-side models — through a
+:class:`~repro.core.runner.SplitWorkspace` and any state a scattered
+unit is missing is rebuilt bit-identically, because every piece is a
+pure function of the task key.  The deterministic reducer
+(:func:`~repro.core.runner.merge_cell_results`) sorts cells by
+(method, model) before accumulating — and fold scores by fold before
+averaging — so the contract above extends to every
+``(n_jobs, granularity)`` pair: byte-identical experiments, flags, and
+persisted JSON.
+
 Checkpointing
 -------------
 Pass ``checkpoint=<path>`` to record every completed task to a JSONL
 file (:mod:`repro.core.persistence`).  A rerun with the same path skips
 completed task keys and resumes with the remaining splits; resumed
 studies are bit-identical to uninterrupted ones because checkpointed
-floats round-trip exactly through JSON.
+floats round-trip exactly through JSON.  Sub-split runs additionally
+record every completed cell, so a crash mid-split resumes from the
+cells already banked rather than re-running the whole split.
 """
 
 from __future__ import annotations
@@ -43,17 +64,30 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 
 from ..cleaning.base import CleaningMethod
+from ..cleaning.registry import methods_for
 from ..datasets.base import Dataset
 from .runner import (
+    DIRTY_ROLE,
+    GRANULARITIES,
+    CellResult,
     ErrorTypeRun,
     RawExperiment,
     SplitResult,
+    SplitWorkspace,
     StudyConfig,
+    cell_candidates,
+    derive_seed,
+    merge_cell_results,
     merge_split_results,
+    resolve_fold_scores,
 )
 
 #: (dataset name, error type, split index) — the executor's unit of work
 TaskKey = tuple[str, str, int]
+
+#: (dataset name, error type, split, method index, model) — one cell
+#: sub-unit of a split task at cell/fold granularity
+CellKey = tuple[str, str, int, int, str]
 
 
 @dataclass(frozen=True)
@@ -208,6 +242,11 @@ def execute_task(task: SplitTask) -> tuple[TaskKey, SplitResult]:
 _WORKER_BLOCKS: dict[tuple[str, str], tuple[Dataset, tuple | None]] = {}
 #: lazily built ErrorTypeRun per registered block
 _WORKER_RUNS: dict[tuple[str, str], ErrorTypeRun] = {}
+#: lazily built SplitWorkspace per (block, split) a worker has touched;
+#: bounded to the most recent few so sub-unit batches of one split share
+#: state while a long study cannot pin every split's tables at once
+_WORKER_WORKSPACES: dict[tuple[str, str, int], SplitWorkspace] = {}
+_WORKER_WORKSPACE_CAP = 2
 _WORKER_CONFIG: StudyConfig | None = None
 
 
@@ -218,25 +257,90 @@ def _register_blocks(
     global _WORKER_CONFIG
     _WORKER_BLOCKS.clear()
     _WORKER_RUNS.clear()
+    _WORKER_WORKSPACES.clear()
     _WORKER_CONFIG = config
     for dataset, error_type, methods in payload:
         _WORKER_BLOCKS[(dataset.name, error_type)] = (dataset, methods)
 
 
-def _execute_registered(key: TaskKey) -> tuple[TaskKey, SplitResult]:
-    """Worker entry point: run one split of a broadcast block."""
-    block_key = (key[0], key[1])
+def _worker_run(block_key: tuple[str, str]) -> ErrorTypeRun:
+    """One lazily built ErrorTypeRun per registered block per worker."""
     run = _WORKER_RUNS.get(block_key)
     if run is None:
         dataset, methods = _WORKER_BLOCKS[block_key]
         run = ErrorTypeRun(
             dataset,
-            key[1],
+            block_key[1],
             _WORKER_CONFIG,
             methods=list(methods) if methods is not None else None,
         )
         _WORKER_RUNS[block_key] = run
-    return key, run.run_split(key[2])
+    return run
+
+
+def _execute_registered(key: TaskKey) -> tuple[TaskKey, SplitResult]:
+    """Worker entry point: run one split of a broadcast block."""
+    return key, _worker_run((key[0], key[1])).run_split(key[2])
+
+
+def _worker_workspace(key: TaskKey) -> SplitWorkspace:
+    """The worker's shared workspace for one split (built on first touch).
+
+    Sub-units of the same split that land on this worker share detector
+    fits, encodings, and trained models through it; units that land
+    elsewhere rebuild the identical state (everything in a workspace is
+    a pure function of the task key), so the cache affects time, never
+    bits.
+    """
+    workspace = _WORKER_WORKSPACES.get(key)
+    if workspace is None:
+        while len(_WORKER_WORKSPACES) >= _WORKER_WORKSPACE_CAP:
+            _WORKER_WORKSPACES.pop(next(iter(_WORKER_WORKSPACES)))
+        workspace = SplitWorkspace(_worker_run((key[0], key[1])), key[2])
+        _WORKER_WORKSPACES[key] = workspace
+    return workspace
+
+
+def _execute_cell(
+    key: TaskKey,
+    method_index: int,
+    model: str,
+    tuned_dirty=None,
+    tuned_clean=None,
+) -> tuple[TaskKey, CellResult]:
+    """Worker entry point: run one (method, model) cell of a split."""
+    workspace = _worker_workspace(key)
+    return key, workspace.cell(
+        method_index, model, tuned_dirty=tuned_dirty, tuned_clean=tuned_clean
+    )
+
+
+def _execute_fold(
+    key: TaskKey, role: int, model: str, slot: int
+) -> tuple[TaskKey, int, str, int, tuple | None]:
+    """Worker entry point: score one CV fold of one (role, model) search."""
+    workspace = _worker_workspace(key)
+    return key, role, model, slot, workspace.fold_scores(role, model, slot)
+
+
+def block_method_names(block: StudyBlock, config: StudyConfig) -> list[str]:
+    """The block's cleaning-method names, in split iteration order.
+
+    The parent process needs them to enumerate cell sub-units and to
+    re-derive fold-level seeds; method construction is cheap (no
+    fitting) and deterministic, so this matches the fresh method lists
+    every split builds.
+    """
+    if block.methods is not None:
+        return [method.name for method in block.methods]
+    return [
+        method.name
+        for method in methods_for(
+            block.error_type,
+            include_advanced=config.include_advanced_cleaning,
+            random_state=config.seed,
+        )
+    ]
 
 
 def execute_study(
@@ -245,6 +349,7 @@ def execute_study(
     n_jobs: int | None = None,
     checkpoint=None,
     progress=None,
+    granularity: str | None = None,
 ) -> list[RawExperiment]:
     """Execute a study's task graph and return merged raw experiments.
 
@@ -254,29 +359,54 @@ def execute_study(
         The study's queued (dataset, error type) blocks.
     config:
         Study protocol knobs; ``config.n_jobs`` is the default degree of
-        parallelism.
+        parallelism and ``config.granularity`` the default scheduling
+        granularity.
     n_jobs:
         Worker processes; overrides ``config.n_jobs`` when given.  Any
         value yields bit-identical results (see module docstring).
     checkpoint:
         Optional path of a JSONL task checkpoint.  Completed task keys
         found there are skipped; every newly completed task is appended.
+        At sub-split granularity every completed *cell* is appended too,
+        so a crash mid-split loses at most the sub-units in flight.
     progress:
         Optional ``(dataset_name, error_type)`` callback invoked once
         per block as its tasks start; blocks fully satisfied by the
         checkpoint are skipped.
+    granularity:
+        ``"split"`` (one task per split — the default), ``"cell"`` (one
+        sub-unit per (method, model) cell of each split), or ``"fold"``
+        (cells plus one sub-unit per CV fold of each cell's search).
+        Overrides ``config.granularity`` when given.  Sub-split
+        granularities keep the whole pool busy when ``n_splits`` is
+        smaller than the worker count; every ``(n_jobs, granularity)``
+        pair produces byte-identical results because sub-unit seeds
+        derive from structural keys and the cell reducer sorts by
+        (split, method, model, fold) before accumulating.
     """
-    from .persistence import append_checkpoint, load_checkpoint
+    from .persistence import (
+        append_cell_checkpoint,
+        append_checkpoint,
+        load_checkpoint_units,
+    )
 
     jobs = config.n_jobs if n_jobs is None else n_jobs
     if jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {jobs}")
+    level = config.granularity if granularity is None else granularity
+    if level not in GRANULARITIES:
+        raise ValueError(
+            f"granularity must be one of {GRANULARITIES}, got {level!r}"
+        )
 
     tasks = build_task_graph(blocks, config)
     fingerprint = study_fingerprint(blocks, config)
     done: dict[TaskKey, SplitResult] = {}
+    cells_done: dict[CellKey, CellResult] = {}
     if checkpoint is not None:
-        done = load_checkpoint(checkpoint, fingerprint=fingerprint)
+        done, cells_done = load_checkpoint_units(
+            checkpoint, fingerprint=fingerprint
+        )
 
     pending = [task for task in tasks if task.key not in done]
     by_block: dict[tuple[str, str], list[SplitTask]] = {}
@@ -297,48 +427,28 @@ def execute_study(
         if checkpoint is not None:
             append_checkpoint(checkpoint, key, result, fingerprint=fingerprint)
 
-    if jobs == 1 or len(pending) <= 1:
-        # in-process path: one ErrorTypeRun per block, so per-block setup
-        # (label encoding, minority-class scan) is paid once, as `run()`
-        # does; the runner still copies methods fresh per split
-        for block in blocks:
-            if not announce(block):
-                continue
-            run = ErrorTypeRun(
-                block.dataset,
-                block.error_type,
-                config,
-                methods=list(block.methods) if block.methods is not None else None,
-            )
-            block_tasks = by_block[(block.dataset.name, block.error_type)]
-            for task in sorted(block_tasks, key=lambda t: t.split):
-                record(task.key, run.run_split(task.split))
+    def record_cell(key: TaskKey, cell: CellResult) -> None:
+        cells_done[key + (cell.method_index, cell.model)] = cell
+        if checkpoint is not None:
+            append_cell_checkpoint(checkpoint, key, cell, fingerprint=fingerprint)
+
+    if level == "split":
+        if jobs == 1 or len(pending) <= 1:
+            _run_splits_in_process(blocks, config, by_block, announce, record)
+        else:
+            _run_splits_pooled(blocks, config, by_block, announce, record, jobs)
     else:
-        # broadcast each pending block's dataset to every worker once
-        # via the initializer; per-task submissions then carry only keys
-        payload = [
-            (block.dataset, block.error_type, block.methods)
-            for block in blocks
-            if by_block.get((block.dataset.name, block.error_type))
-        ]
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_register_blocks,
-            initargs=(payload, config),
-        ) as pool:
-            futures = []
-            for block in blocks:
-                if not announce(block):
-                    continue
-                block_tasks = by_block[(block.dataset.name, block.error_type)]
-                futures.extend(
-                    pool.submit(_execute_registered, task.key)
-                    for task in block_tasks
-                )
-            # checkpoint in completion order so an interrupt loses at
-            # most the tasks still in flight
-            for future in as_completed(futures):
-                record(*future.result())
+        _run_sub_split(
+            blocks,
+            config,
+            by_block,
+            announce,
+            record,
+            record_cell,
+            cells_done,
+            jobs,
+            level,
+        )
 
     experiments: list[RawExperiment] = []
     for block in blocks:
@@ -350,3 +460,268 @@ def execute_study(
             merge_split_results(block.dataset.name, block.error_type, results)
         )
     return experiments
+
+
+def _run_splits_in_process(blocks, config, by_block, announce, record) -> None:
+    """Split-level sequential path: one ErrorTypeRun per block.
+
+    Per-block setup (label encoding, minority-class scan) is paid once,
+    as ``run()`` does; the runner still copies methods fresh per split.
+    """
+    for block in blocks:
+        if not announce(block):
+            continue
+        run = ErrorTypeRun(
+            block.dataset,
+            block.error_type,
+            config,
+            methods=list(block.methods) if block.methods is not None else None,
+        )
+        block_tasks = by_block[(block.dataset.name, block.error_type)]
+        for task in sorted(block_tasks, key=lambda t: t.split):
+            record(task.key, run.run_split(task.split))
+
+
+def _broadcast_payload(blocks, by_block) -> list[tuple]:
+    """What the pool initializer ships: every block with pending work."""
+    return [
+        (block.dataset, block.error_type, block.methods)
+        for block in blocks
+        if by_block.get((block.dataset.name, block.error_type))
+    ]
+
+
+def _run_splits_pooled(blocks, config, by_block, announce, record, jobs) -> None:
+    """Split-level pool path: broadcast blocks once, submit task keys."""
+    payload = _broadcast_payload(blocks, by_block)
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_register_blocks,
+        initargs=(payload, config),
+    ) as pool:
+        futures = []
+        for block in blocks:
+            if not announce(block):
+                continue
+            block_tasks = by_block[(block.dataset.name, block.error_type)]
+            futures.extend(
+                pool.submit(_execute_registered, task.key)
+                for task in block_tasks
+            )
+        # checkpoint in completion order so an interrupt loses at
+        # most the tasks still in flight
+        for future in as_completed(futures):
+            record(*future.result())
+
+
+def _run_sub_split(
+    blocks,
+    config,
+    by_block,
+    announce,
+    record,
+    record_cell,
+    cells_done,
+    jobs,
+    level,
+) -> None:
+    """Two-level path: decompose splits into (method, model) cell units.
+
+    Cells — and at ``level="fold"`` the CV folds inside each cell's
+    search — are scheduled across the process pool with work-stealing
+    (``as_completed`` drains whichever worker finishes first), then each
+    split is reassembled by :func:`~repro.core.runner.merge_cell_results`,
+    which sorts by (method, model) so completion order never reaches the
+    output; the split-level merge then sorts by split exactly as before.
+
+    Fold scheduling runs in two waves: fold sub-units score every search
+    candidate on one fold each, the parent reduces them to each cell's
+    ``(best_params, val_score)`` with the search's own mean-and-argmax
+    (:func:`~repro.core.runner.resolve_fold_scores`), and the second
+    wave's cell units fit the winners directly instead of re-running CV.
+    """
+    method_names: dict[tuple[str, str], list[str]] = {
+        (block.dataset.name, block.error_type): block_method_names(
+            block, config
+        )
+        for block in blocks
+    }
+
+    # enumerate pending cells per split; splits whose cells are already
+    # all in the ledger reduce immediately, and blocks with no methods
+    # degrade to split-level tasks (a cell decomposition needs a grid)
+    pending_cells: dict[TaskKey, list[tuple[int, str]]] = {}
+    collected: dict[TaskKey, dict[tuple[int, str], CellResult]] = {}
+    split_level: list[TaskKey] = []
+
+    def finish_split(key: TaskKey) -> None:
+        names = method_names[key[:2]]
+        record(
+            key,
+            merge_cell_results(
+                key[1],
+                config.models,
+                len(names),
+                list(collected[key].values()),
+            ),
+        )
+
+    for block in blocks:
+        for task in by_block.get(
+            (block.dataset.name, block.error_type), []
+        ):
+            names = method_names[task.key[:2]]
+            specs = [
+                (index, model)
+                for index in range(len(names))
+                for model in config.models
+            ]
+            if not specs:
+                split_level.append(task.key)
+                continue
+            have = {
+                spec: cells_done[task.key + spec]
+                for spec in specs
+                if task.key + spec in cells_done
+            }
+            collected[task.key] = have
+            remaining = [spec for spec in specs if spec not in have]
+            if remaining:
+                pending_cells[task.key] = remaining
+
+    for block in blocks:
+        announce(block)
+
+    # splits fully satisfied by resumed cells never reach the pool
+    for key in list(collected):
+        if key not in pending_cells and key not in split_level:
+            finish_split(key)
+
+    if jobs == 1:
+        _run_cells_in_process(
+            blocks, config, by_block, pending_cells, split_level,
+            collected, record, record_cell, finish_split,
+        )
+        return
+
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_register_blocks,
+        initargs=(_broadcast_payload(blocks, by_block), config),
+    ) as pool:
+        tuned: dict[tuple[TaskKey, int, str], tuple[dict, float]] = {}
+        if level == "fold":
+            tuned = _resolve_tuning_wave(
+                pool, config, method_names, pending_cells
+            )
+
+        futures = [
+            pool.submit(_execute_registered, key) for key in split_level
+        ]
+        cell_total: dict[TaskKey, int] = {}
+        for key, specs in pending_cells.items():
+            cell_total[key] = len(collected[key]) + len(specs)
+            futures.extend(
+                pool.submit(
+                    _execute_cell,
+                    key,
+                    index,
+                    model,
+                    tuned.get((key, DIRTY_ROLE, model)),
+                    tuned.get((key, index, model)),
+                )
+                for index, model in specs
+            )
+        # record in completion order (work-stealing drain); reduce each
+        # split the moment its last cell lands
+        for future in as_completed(futures):
+            result = future.result()
+            if isinstance(result[1], CellResult):
+                key, cell = result
+                record_cell(key, cell)
+                collected[key][(cell.method_index, cell.model)] = cell
+                if len(collected[key]) == cell_total[key]:
+                    finish_split(key)
+            else:
+                record(*result)
+
+
+def _run_cells_in_process(
+    blocks, config, by_block, pending_cells, split_level,
+    collected, record, record_cell, finish_split,
+) -> None:
+    """Sub-split granularity without a pool: one workspace per split.
+
+    Runs cells method-major through the same
+    :class:`~repro.core.runner.SplitWorkspace` + reducer machinery the
+    pool uses — so cell-level checkpoint entries and the reduction path
+    are exercised (and crash-injectable) at ``n_jobs=1`` — but skips the
+    fold wave: in process there is nothing to fan out, and the cell path
+    produces the identical bytes.
+    """
+    for block in blocks:
+        block_tasks = by_block.get((block.dataset.name, block.error_type))
+        if not block_tasks:
+            continue
+        run = ErrorTypeRun(
+            block.dataset,
+            block.error_type,
+            config,
+            methods=list(block.methods) if block.methods is not None else None,
+        )
+        for task in sorted(block_tasks, key=lambda t: t.split):
+            if task.key in split_level:
+                record(task.key, run.run_split(task.split))
+                continue
+            specs = pending_cells.get(task.key)
+            if specs:
+                workspace = SplitWorkspace(run, task.split)
+                for index, model in specs:
+                    cell = workspace.cell(index, model)
+                    record_cell(task.key, cell)
+                    collected[task.key][(index, model)] = cell
+                finish_split(task.key)
+
+
+def _resolve_tuning_wave(
+    pool, config, method_names, pending_cells
+) -> dict[tuple[TaskKey, int, str], tuple[dict, float]]:
+    """Fold wave: score every needed (split, role, model) search fold-wise.
+
+    Submits one sub-unit per CV fold slot of every distinct (split,
+    role, model) the pending cells touch — the dirty side of each model
+    plus each (method, model) pair — and reduces the returned per-fold
+    candidate scores to the search winner with the search's own
+    reduction.  ``config.cv_folds`` slots are over-submitted because a
+    row-dropping repair can shrink a table below the requested fold
+    count; workers answer out-of-plan slots with ``None``.
+    """
+    needed: set[tuple[TaskKey, int, str]] = set()
+    for key, specs in pending_cells.items():
+        for index, model in specs:
+            needed.add((key, DIRTY_ROLE, model))
+            needed.add((key, index, model))
+
+    slots = max(1, config.cv_folds)
+    futures = [
+        pool.submit(_execute_fold, key, role, model, slot)
+        for key, role, model in sorted(needed)
+        for slot in range(slots)
+    ]
+    parts: dict[tuple[TaskKey, int, str], dict[int, tuple | None]] = {}
+    for future in as_completed(futures):
+        key, role, model, slot, payload = future.result()
+        parts.setdefault((key, role, model), {})[slot] = payload
+
+    tuned: dict[tuple[TaskKey, int, str], tuple[dict, float]] = {}
+    for (key, role, model), slot_parts in parts.items():
+        role_name = (
+            "dirty"
+            if role == DIRTY_ROLE
+            else f"clean:{method_names[key[:2]][role]}"
+        )
+        seed = derive_seed(config.seed, key[0], role_name, model, key[2])
+        tuned[(key, role, model)] = resolve_fold_scores(
+            cell_candidates(config, model, seed), slot_parts
+        )
+    return tuned

@@ -9,14 +9,16 @@ cannot checkpoint is a study you will re-run.  Two formats live here:
   results from separate runs can be merged into one database.
 * **Checkpoints** — the executor's task ledger as append-only JSONL:
   a header line followed by one line per completed
-  (dataset, error type, split) task.  Appends are crash-safe by
-  construction (a torn final line is dropped on load), rewrites never
-  happen, and ledgers written by separate processes merge by key.
-  Floats round-trip exactly through JSON, so a resumed study is
-  bit-identical to an uninterrupted one.
+  (dataset, error type, split) task, interleaved (at sub-split
+  granularity) with one line per completed (method, model) cell
+  sub-unit.  Appends are crash-safe by construction (a torn final line
+  is dropped on load), rewrites never happen, and ledgers written by
+  separate processes merge by key.  Floats round-trip exactly through
+  JSON, so a resumed study is bit-identical to an uninterrupted one.
 
-``FORMAT_VERSION`` is 2 since checkpoints landed; version-1 results
-files (which carry the identical experiments payload) still load.
+``FORMAT_VERSION`` is 3 since cell sub-unit entries landed (the
+two-level executor); version-1/2 results files and version-2 ledgers
+(which carry the identical payloads minus cell entries) still load.
 """
 
 from __future__ import annotations
@@ -25,14 +27,14 @@ import json
 import os
 from pathlib import Path
 
-from .runner import RawExperiment, SplitResult
+from .runner import CellResult, RawExperiment, SplitResult
 from .schema import MetricPair, Scenario
 from .study import CleanMLStudy
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: results format versions this module can read
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: the "kind" tag distinguishing checkpoint ledgers from results files
 CHECKPOINT_KIND = "cleanml-checkpoint"
@@ -170,6 +172,42 @@ def split_result_from_dict(data: dict) -> SplitResult:
     )
 
 
+def cell_result_to_dict(cell: CellResult) -> dict:
+    """JSON-ready dictionary for one cell sub-unit result."""
+    return {
+        "split": cell.split,
+        "method_index": cell.method_index,
+        "method_name": cell.method_name,
+        "detection": cell.detection,
+        "repair": cell.repair,
+        "model": cell.model,
+        "dirty_val_score": cell.dirty_val_score,
+        "clean_val_score": cell.clean_val_score,
+        "pairs": [
+            [scenario.value, pair.before, pair.after]
+            for scenario, pair in cell.pairs
+        ],
+    }
+
+
+def cell_result_from_dict(data: dict) -> CellResult:
+    """Inverse of :func:`cell_result_to_dict`."""
+    return CellResult(
+        split=int(data["split"]),
+        method_index=int(data["method_index"]),
+        method_name=data["method_name"],
+        detection=data["detection"],
+        repair=data["repair"],
+        model=data["model"],
+        dirty_val_score=float(data["dirty_val_score"]),
+        clean_val_score=float(data["clean_val_score"]),
+        pairs=tuple(
+            (Scenario(value), MetricPair(float(before), float(after)))
+            for value, before, after in data["pairs"]
+        ),
+    )
+
+
 def _checkpoint_header(fingerprint: str | None = None) -> str:
     header = {"format_version": FORMAT_VERSION, "kind": CHECKPOINT_KIND}
     if fingerprint is not None:
@@ -205,20 +243,70 @@ def append_checkpoint(
     new, it is stamped into the header so later resumes can detect
     protocol or method-list drift.
     """
+    _append_entry(
+        path,
+        {"task": list(key), "result": split_result_to_dict(result)},
+        fingerprint,
+    )
+
+
+def _append_entry(
+    path: str | Path, entry: dict, fingerprint: str | None
+) -> None:
+    """The shared append protocol: heal a torn tail, header-on-create,
+    one JSON line — identical for split and cell entries by construction."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     _heal_torn_tail(path)
-    line = json.dumps({"task": list(key), "result": split_result_to_dict(result)})
+    line = json.dumps(entry)
     with open(path, "a") as handle:
         if handle.tell() == 0:
             handle.write(_checkpoint_header(fingerprint) + "\n")
         handle.write(line + "\n")
 
 
+def append_cell_checkpoint(
+    path: str | Path,
+    key: tuple,
+    cell: CellResult,
+    fingerprint: str | None = None,
+) -> None:
+    """Record one completed cell sub-unit, creating the ledger if needed.
+
+    ``key`` is the owning split's (dataset, error type, split) task key;
+    the cell's (method index, model) completes the sub-unit identity.
+    Cell entries interleave freely with split entries in one ledger —
+    the two-level executor appends each cell as it lands and the
+    reassembled split when its last cell does.
+    """
+    _append_entry(
+        path,
+        {
+            "cell": [key[0], key[1], key[2], cell.method_index, cell.model],
+            "result": cell_result_to_dict(cell),
+        },
+        fingerprint,
+    )
+
+
 def load_checkpoint(
     path: str | Path, fingerprint: str | None = None
 ) -> dict[tuple, SplitResult]:
-    """Completed tasks from a checkpoint ledger, keyed by task key.
+    """Completed split tasks from a checkpoint ledger, keyed by task key.
+
+    The split-level view of :func:`load_checkpoint_units` — cell
+    sub-unit entries are validated but not returned.
+    """
+    return load_checkpoint_units(path, fingerprint=fingerprint)[0]
+
+
+def load_checkpoint_units(
+    path: str | Path, fingerprint: str | None = None
+) -> tuple[dict[tuple, SplitResult], dict[tuple, CellResult]]:
+    """Completed (splits, cells) from a checkpoint ledger.
+
+    Splits are keyed ``(dataset, error type, split)``, cell sub-units
+    ``(dataset, error type, split, method index, model)``.
 
     A missing file is an empty checkpoint.  A torn *final* line — the
     signature of a crash mid-append, including a crash during the very
@@ -235,7 +323,7 @@ def load_checkpoint(
     """
     path = Path(path)
     if not path.exists():
-        return {}
+        return {}, {}
     text = path.read_text()
     # a final line without its newline is a torn append, not corruption
     torn_tail = bool(text) and not text.endswith("\n")
@@ -243,12 +331,12 @@ def load_checkpoint(
     if lines and lines[-1] == "":
         lines.pop()
     if not lines:
-        return {}
+        return {}, {}
     try:
         header = json.loads(lines[0])
     except json.JSONDecodeError as error:
         if len(lines) == 1 and torn_tail:  # crash mid-header: empty checkpoint
-            return {}
+            return {}, {}
         raise CheckpointError(f"{path}: corrupt checkpoint header") from error
     if header.get("kind") != CHECKPOINT_KIND:
         raise CheckpointError(f"{path}: not a checkpoint ledger: {header}")
@@ -266,9 +354,17 @@ def load_checkpoint(
                 f"{fingerprint!r}); refusing to reuse its tasks"
             )
     done: dict[tuple, SplitResult] = {}
+    cells: dict[tuple, CellResult] = {}
     for number, line in enumerate(lines[1:], start=2):
         try:
             entry = json.loads(line)
+            if "cell" in entry:
+                name, error_type, split, method_index, model = entry["cell"]
+                cell = cell_result_from_dict(entry["result"])
+                cells[
+                    (name, error_type, int(split), int(method_index), model)
+                ] = cell
+                continue
             name, error_type, split = entry["task"]
             result = split_result_from_dict(entry["result"])
         except (json.JSONDecodeError, KeyError, ValueError, TypeError) as error:
@@ -278,7 +374,7 @@ def load_checkpoint(
                 f"{path}: corrupt checkpoint entry at line {number}"
             ) from error
         done[(name, error_type, int(split))] = result
-    return done
+    return done, cells
 
 
 def checkpoint_fingerprint(path: str | Path) -> str | None:
@@ -300,7 +396,9 @@ def checkpoint_fingerprint(path: str | Path) -> str | None:
     return header.get("fingerprint") if isinstance(header, dict) else None
 
 
-def merge_checkpoints(paths: list[str | Path]) -> dict[tuple, SplitResult]:
+def merge_checkpoints(
+    paths: list[str | Path],
+) -> dict[tuple, SplitResult | CellResult]:
     """Union of several ledgers (e.g. one per process of a sharded run).
 
     Ledgers stamped with different study fingerprints refuse to merge —
@@ -309,6 +407,11 @@ def merge_checkpoints(paths: list[str | Path]) -> dict[tuple, SplitResult]:
     keys are fine when the recorded results agree — the tasks are
     deterministic, so they should — and raise :class:`CheckpointError`
     when they conflict.
+
+    Cell sub-unit entries round-trip too: they appear in the merged
+    mapping under their 5-tuple ``(dataset, error type, split, method
+    index, model)`` keys (a split task key is always a 3-tuple, so the
+    two kinds cannot collide), with the same agree-or-raise rule.
     """
     fingerprints = {
         path: fingerprint
@@ -320,14 +423,16 @@ def merge_checkpoints(paths: list[str | Path]) -> dict[tuple, SplitResult]:
             "refusing to merge checkpoints from different study "
             f"definitions: {fingerprints}"
         )
-    merged: dict[tuple, SplitResult] = {}
+    merged: dict[tuple, SplitResult | CellResult] = {}
     for path in paths:
-        for key, result in load_checkpoint(path).items():
-            if key in merged and merged[key] != result:
-                raise CheckpointError(
-                    f"conflicting checkpoint entries for task {key}"
-                )
-            merged[key] = result
+        done, cells = load_checkpoint_units(path)
+        for entries, label in ((done, "task"), (cells, "cell")):
+            for key, result in entries.items():
+                if key in merged and merged[key] != result:
+                    raise CheckpointError(
+                        f"conflicting checkpoint entries for {label} {key}"
+                    )
+                merged[key] = result
     return merged
 
 

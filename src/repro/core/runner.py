@@ -94,13 +94,28 @@ import numpy as np
 from ..cleaning.base import MISSING_VALUES, CleaningMethod, DetectionCache
 from ..cleaning.registry import dirty_baseline, methods_for
 from ..datasets.base import Dataset
-from ..ml.cv_kernel import tuning_kernel_disabled
-from ..ml.model_selection import RandomSearch, cross_val_score, score_predictions
+from ..ml.cv_kernel import (
+    FoldData,
+    score_fold_candidates,
+    tuning_kernel_disabled,
+)
+from ..ml.gbt import _GradientTree
+from ..ml.model_selection import (
+    RandomSearch,
+    cross_val_score,
+    kfold_plan,
+    score_predictions,
+    search_candidates,
+)
 from ..ml.tree import DecisionTreeClassifier
 from ..ml.registry import MODEL_NAMES, make_model, search_space
 from ..table import FeatureEncoder, LabelEncoder, Table, train_test_split
 from ..table.ops import minority_class
 from .schema import MetricPair, Scenario
+
+
+#: scheduling granularities of the two-level executor
+GRANULARITIES = ("split", "cell", "fold")
 
 
 def _freeze_overrides(overrides):
@@ -166,6 +181,13 @@ class StudyConfig:
     seed: int = 0
     #: worker processes for study execution (1 = in-process sequential)
     n_jobs: int = field(default=1, compare=False)
+    #: scheduling granularity of the two-level executor — "split" (one
+    #: task per split), "cell" (one sub-unit per (method, model) cell of
+    #: each split), or "fold" (cells plus one sub-unit per CV fold of
+    #: each cell's search).  Like ``n_jobs`` it never affects results
+    #: (every (n_jobs, granularity) pair is bit-identical), so it is
+    #: excluded from equality and the checkpoint fingerprint.
+    granularity: str = field(default="split", compare=False)
     #: per-model constructor overrides, e.g. {"random_forest":
     #: {"n_estimators": 10}} — the lever benchmarks use to stay fast;
     #: frozen to sorted ``(model, params_json)`` tuples in
@@ -177,6 +199,11 @@ class StudyConfig:
         object.__setattr__(
             self, "model_overrides", _freeze_overrides(self.model_overrides)
         )
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {GRANULARITIES}, "
+                f"got {self.granularity!r}"
+            )
 
     def fingerprint(self) -> str:
         """Stable identifier of every field that shapes per-split results.
@@ -260,6 +287,42 @@ class SplitResult:
     r3: dict
 
 
+@dataclass(frozen=True, eq=True)
+class CellResult:
+    """Everything one (split, method, model) cell contributes to a study.
+
+    The sub-split unit of work of the two-level executor: a cell trains
+    the dirty-side and cleaned-side models of one ``(cleaning method,
+    model)`` pair within one split and records their validation scores
+    plus the per-scenario R1 metric pair.  That is *sufficient* to
+    reassemble the whole split: the R2 pair of a method is composed of
+    R1 ingredients (the best dirty model's before-score and the best
+    clean model's after-score are exactly the floats the corresponding
+    R1 cells computed — the sequential runner's evaluation memo returns
+    the very same values), and R3 selects among the R2 pairs by the
+    ``clean_val_score`` recorded here.  :func:`merge_cell_results`
+    performs that reassembly deterministically.
+
+    ``method_index`` is the method's position in the split's method
+    iteration order — the sort key that keeps reassembled pair lists in
+    the sequential runner's order even when two methods share a
+    (detection, repair) label.  Instances are plain data (picklable and
+    JSON-serializable) so they can cross the process-pool boundary and
+    live in checkpoint ledgers.
+    """
+
+    split: int
+    method_index: int
+    method_name: str
+    detection: str | None
+    repair: str | None
+    model: str
+    dirty_val_score: float
+    clean_val_score: float
+    #: ((scenario, MetricPair), ...) in ``scenarios_for`` order
+    pairs: tuple
+
+
 #: process-wide switch for the split-execution kernel; flip only through
 #: :func:`kernel_disabled`
 _KERNEL_ENABLED = True
@@ -294,9 +357,11 @@ def kernel_disabled():
     previous_kernel = _KERNEL_ENABLED
     previous_vectorized = FeatureEncoder.vectorized
     previous_split = DecisionTreeClassifier.vectorized_split
+    previous_gbt_split = _GradientTree.vectorized_split
     _KERNEL_ENABLED = False
     FeatureEncoder.vectorized = False
     DecisionTreeClassifier.vectorized_split = False
+    _GradientTree.vectorized_split = False
     try:
         with tuning_kernel_disabled():
             yield
@@ -304,6 +369,7 @@ def kernel_disabled():
         _KERNEL_ENABLED = previous_kernel
         FeatureEncoder.vectorized = previous_vectorized
         DecisionTreeClassifier.vectorized_split = previous_split
+        _GradientTree.vectorized_split = previous_gbt_split
 
 
 @contextmanager
@@ -441,6 +507,7 @@ class TrainedModel:
         metric: str,
         positive: int | None,
         seed: int,
+        tuned: tuple[dict, float] | None = None,
     ) -> None:
         self.model_name = model_name
         self.metric = metric
@@ -457,6 +524,22 @@ class TrainedModel:
                 train, labeler, memoize=_KERNEL_ENABLED
             )
         X, y = self._encoded.X, self._encoded.y
+
+        # ``tuned`` carries a (best_params, val_score) pair the fold-level
+        # executor already resolved out of process; the final fit repeats
+        # the search's exact epilogue (clone of the seeded prototype under
+        # a search, the prototype itself without one), so the fitted model
+        # is bit-identical to the one the in-process search would keep
+        if tuned is not None:
+            params, val_score = tuned
+            prototype = config.make_model(model_name, seed)
+            if config.search_iters > 0:
+                self.model = prototype.clone(**params)
+            else:
+                self.model = prototype
+            self.model.fit(X, y)
+            self.val_score = float(val_score)
+            return
 
         # the tuning kernel rides the same switch as the rest of the
         # split kernel: threading it explicitly (rather than relying on
@@ -621,6 +704,7 @@ class ErrorTypeRun:
         model_name: str,
         role: str,
         split: int,
+        tuned: tuple[dict, float] | None = None,
     ) -> TrainedModel:
         seed = derive_seed(self.config.seed, self.dataset.name, role, model_name, split)
         return TrainedModel(
@@ -631,6 +715,7 @@ class ErrorTypeRun:
             self.metric,
             self.positive,
             seed,
+            tuned=tuned,
         )
 
     def _encode_once(
@@ -764,6 +849,447 @@ class ErrorTypeRun:
             before=memo.evaluate(clean_model, raw_test),
             after=memo.evaluate(clean_model, clean_test),
         )
+
+
+# -- sub-split work units (two-level executor) -------------------------------
+
+#: pseudo method index naming the dirty-baseline role of fold sub-units
+DIRTY_ROLE = -1
+
+
+def cell_tuning_plan(
+    config: StudyConfig, model_name: str, n_rows: int, seed: int
+) -> tuple[list[dict], tuple | None]:
+    """The (candidates, folds) one cell's validation pass draws.
+
+    Mirrors :class:`TrainedModel` exactly: under a search the candidate
+    list and fold-plan seed come from one ``default_rng(seed)``
+    (:func:`~repro.ml.model_selection.search_candidates`); without one
+    the single default candidate is validated on the plan seeded by the
+    model seed itself.  ``folds`` is ``None`` on the degenerate
+    ``n_folds < 2`` path, where scoring falls back to the
+    train-equals-validation probe.
+    """
+    if config.search_iters > 0:
+        candidates, fold_seed = search_candidates(
+            search_space(model_name), config.search_iters, seed
+        )
+    else:
+        candidates, fold_seed = [dict()], seed
+    n_folds = min(config.cv_folds, n_rows)
+    if n_folds < 2:
+        return candidates, None
+    return candidates, kfold_plan(n_rows, n_folds, fold_seed)
+
+
+def cell_candidates(
+    config: StudyConfig, model_name: str, seed: int
+) -> list[dict]:
+    """Just the candidate list of :func:`cell_tuning_plan`.
+
+    Needs no table, so the executor's parent process can derive it to
+    map a fold-level reduction's winning index back to parameters.
+    """
+    if config.search_iters > 0:
+        return search_candidates(
+            search_space(model_name), config.search_iters, seed
+        )[0]
+    return [dict()]
+
+
+def resolve_fold_scores(
+    candidates: list[dict], parts: dict[int, tuple[str, list[float]] | None]
+) -> tuple[dict, float]:
+    """(best_params, val_score) from a cell's fold sub-unit payloads.
+
+    ``parts`` maps fold slot to :meth:`SplitWorkspace.fold_scores`
+    payloads.  Probe payloads carry final scores; fold payloads are
+    reduced per candidate over ascending slots with the exact
+    ``float(np.mean(...))`` the in-process search applies
+    (:func:`~repro.ml.cv_kernel.mean_fold_scores`), and the winner is
+    picked by the search's first-strictly-better scan — so the resolved
+    pair is bit-identical to ``RandomSearch.fit`` / ``cross_val_score``
+    on the same table.
+    """
+    from ..ml.cv_kernel import mean_fold_scores
+    from ..ml.model_selection import best_candidate
+
+    payloads = {slot: part for slot, part in parts.items() if part is not None}
+    if not payloads:
+        raise ValueError("no fold payloads to resolve")
+    if any(kind == "probe" for kind, _ in payloads.values()):
+        if set(payloads) != {0}:
+            raise ValueError(
+                f"probe payload must be the only slot, got {sorted(payloads)}"
+            )
+        scores = payloads[0][1]
+    else:
+        slots = sorted(payloads)
+        if slots != list(range(len(slots))) or len(slots) < 2:
+            raise ValueError(
+                f"fold payloads are not a contiguous >=2 plan: {slots}"
+            )
+        scores = mean_fold_scores([payloads[slot][1] for slot in slots])
+    return best_candidate(candidates, scores)
+
+
+class SplitWorkspace:
+    """Per-(block, split) state shared by sub-split work units.
+
+    The two-level executor schedules (method, model) cells — and
+    optionally the CV folds inside them — as independent tasks.  A cell
+    needs the split's 70/30 partition, the baseline transform, detector
+    fits, shared encodings, and the dirty-side model of its model name;
+    all of those are pure functions of ``(dataset, error type, config,
+    split)``, so this workspace builds each lazily on first touch and
+    shares it with every later unit the same worker receives.  Units of
+    the same split that land on *different* workers simply rebuild the
+    same state bit-for-bit — sharing is purely an optimization, which is
+    what makes any scatter of cells across workers produce byte-identical
+    results (pinned by ``tests/test_intra_split.py``).
+
+    The split-level :class:`~repro.cleaning.base.DetectionCache` and
+    evaluation memo live here with per-workspace scope: within one
+    worker's batch they deduplicate exactly as the sequential runner's
+    per-split instances do, and across workers they are rebuilt
+    identically because detections and evaluations are pure.  Unlike the
+    sequential path (which evicts per method), a workspace retains its
+    split's method state until the executor drops the workspace, so peak
+    worker memory is one split's footprint.
+    """
+
+    def __init__(self, run: ErrorTypeRun, split: int) -> None:
+        self.run = run
+        self.split = split
+        config = run.config
+        split_seed = derive_seed(
+            config.seed, run.dataset.name, run.error_type, split
+        )
+        self.raw_train, self.raw_test = train_test_split(
+            run.dataset.dirty, test_ratio=config.test_ratio, seed=split_seed
+        )
+        self.dcache = DetectionCache(
+            enabled=_KERNEL_ENABLED and _DETECTION_CACHE_ENABLED
+        )
+        baseline = dirty_baseline(run.error_type)
+        _bind_detection_cache(baseline, self.dcache)
+        baseline.fit(self.raw_train)
+        dirty_train = baseline.transform(self.raw_train)
+        self.memo = _EvalMemo(enabled=_KERNEL_ENABLED)
+        self.label_cache: dict = {}
+        self.dirty_source = run._encode_once(dirty_train, self.label_cache)
+        self._dirty_train = dirty_train
+        self._methods: list[CleaningMethod] | None = None
+        #: method index -> (fitted method, clean training source)
+        self._method_data: dict[int, tuple] = {}
+        #: method index -> cleaned test table (lazy: fold sub-units
+        #: only consume training encodings, so the test-set transform
+        #: is deferred until a cell actually evaluates on it)
+        self._clean_tests: dict[int, Table] = {}
+        #: role -> EncodedTable serving fold sub-units
+        self._role_encodings: dict[int, EncodedTable] = {}
+        self._dirty_models: dict[str, TrainedModel] = {}
+        self._clean_models: dict[tuple[int, str], TrainedModel] = {}
+
+    def methods(self) -> list[CleaningMethod]:
+        """The split's fresh method objects, in iteration order."""
+        if self._methods is None:
+            self._methods = self.run._fresh_methods()
+        return self._methods
+
+    def method_data(self, index: int) -> tuple:
+        """(fitted method, clean training source) of one method."""
+        data = self._method_data.get(index)
+        if data is None:
+            method = self.methods()[index]
+            _bind_detection_cache(method, self.dcache)
+            method.fit(self.raw_train)
+            clean_train = method.transform(self.raw_train)
+            clean_source = self.run._encode_once(clean_train, self.label_cache)
+            data = (method, clean_source)
+            self._method_data[index] = data
+        return data
+
+    def clean_test(self, index: int) -> Table:
+        """One method's cleaned test table (transform is pure; lazy)."""
+        table = self._clean_tests.get(index)
+        if table is None:
+            method, _ = self.method_data(index)
+            table = method.transform(self.raw_test)
+            self._clean_tests[index] = table
+        return table
+
+    def dirty_model(
+        self, name: str, tuned: tuple[dict, float] | None = None
+    ) -> TrainedModel:
+        model = self._dirty_models.get(name)
+        if model is None:
+            model = self.run._train(
+                self.dirty_source, name, "dirty", self.split, tuned=tuned
+            )
+            self._dirty_models[name] = model
+        return model
+
+    def clean_model(
+        self, index: int, name: str, tuned: tuple[dict, float] | None = None
+    ) -> TrainedModel:
+        key = (index, name)
+        model = self._clean_models.get(key)
+        if model is None:
+            method, clean_source = self.method_data(index)
+            model = self.run._train(
+                clean_source,
+                name,
+                f"clean:{method.name}",
+                self.split,
+                tuned=tuned,
+            )
+            self._clean_models[key] = model
+        return model
+
+    def cell(
+        self,
+        index: int,
+        name: str,
+        tuned_dirty: tuple[dict, float] | None = None,
+        tuned_clean: tuple[dict, float] | None = None,
+    ) -> CellResult:
+        """Run one (method, model) cell and return its contribution."""
+        method, _ = self.method_data(index)
+        clean_test = self.clean_test(index)
+        dirty = self.dirty_model(name, tuned=tuned_dirty)
+        clean = self.clean_model(index, name, tuned=tuned_clean)
+        pairs = tuple(
+            (
+                scenario,
+                self.run._metric_pair(
+                    scenario,
+                    dirty_model=dirty,
+                    clean_model=clean,
+                    raw_test=self.raw_test,
+                    clean_test=clean_test,
+                    memo=self.memo,
+                ),
+            )
+            for scenario in scenarios_for(self.run.error_type)
+        )
+        return CellResult(
+            split=self.split,
+            method_index=index,
+            method_name=method.name,
+            detection=method.detection,
+            repair=method.repair,
+            model=name,
+            dirty_val_score=dirty.val_score,
+            clean_val_score=clean.val_score,
+            pairs=pairs,
+        )
+
+    # -- fold sub-units -------------------------------------------------------
+
+    def role_name(self, role: int) -> str:
+        """The seed-derivation role string of a training side."""
+        if role == DIRTY_ROLE:
+            return "dirty"
+        return f"clean:{self.methods()[role].name}"
+
+    def _training_encoding(self, role: int) -> EncodedTable:
+        encoded = self._role_encodings.get(role)
+        if encoded is None:
+            source = (
+                self.dirty_source
+                if role == DIRTY_ROLE
+                else self.method_data(role)[1]
+            )
+            if isinstance(source, EncodedTable):
+                encoded = source
+            else:
+                # reference path (kernel disabled): the per-model private
+                # encoders produce these exact bits, so one shared fit
+                # serves fold scoring without changing any value
+                encoded = EncodedTable(source, self.run.labeler, memoize=False)
+            self._role_encodings[role] = encoded
+        return encoded
+
+    def fold_scores(
+        self, role: int, name: str, slot: int
+    ) -> tuple[str, list[float]] | None:
+        """Candidate scores of one CV fold of one (role, model) search.
+
+        Returns ``("fold", scores)`` for a real fold of the plan,
+        ``("probe", scores)`` when validation degenerates to the
+        train-equals-validation probe (fewer than two folds; slot 0
+        carries it), and ``None`` for slots beyond the actual fold
+        count — the executor over-submits ``config.cv_folds`` slots
+        because a row-dropping repair can shrink the plan, which only
+        the worker (after the transform) can see.
+        """
+        config = self.run.config
+        encoded = self._training_encoding(role)
+        X = np.asarray(encoded.X, dtype=np.float64)
+        y = np.asarray(encoded.y, dtype=np.int64)
+        seed = derive_seed(
+            config.seed,
+            self.run.dataset.name,
+            self.role_name(role),
+            name,
+            self.split,
+        )
+        candidates, folds = cell_tuning_plan(config, name, len(y), seed)
+        prototype = config.make_model(name, seed)
+
+        def scorer(y_true, y_pred):
+            return score_predictions(
+                y_true, y_pred, self.run.metric, self.run.positive
+            )
+
+        if folds is None:
+            if slot != 0:
+                return None
+            scores = []
+            for params in candidates:
+                probe = prototype.clone(**params)
+                probe.fit(X, y)
+                scores.append(scorer(y, probe.predict(X)))
+            return ("probe", scores)
+        if slot >= len(folds):
+            return None
+        train_idx, val_idx = folds[slot]
+        fold = FoldData(X[train_idx], y[train_idx], X[val_idx], y[val_idx])
+        return (
+            "fold",
+            score_fold_candidates(
+                prototype,
+                candidates,
+                fold,
+                scorer,
+                use_workspace=_KERNEL_ENABLED,
+            ),
+        )
+
+
+def merge_cell_results(
+    error_type: str,
+    models: tuple[str, ...],
+    n_methods: int,
+    cells: list[CellResult],
+) -> SplitResult:
+    """Deterministic reassembly of one split from its cell results.
+
+    Cells may arrive in any order (workers complete nondeterministically);
+    sorting by (method index, model order) before accumulating makes the
+    merge a pure function of the cell *set* and reproduces the exact
+    accumulator insertion order of :meth:`ErrorTypeRun._run_split` —
+    method-major, then scenario, then model — so the resulting
+    :class:`SplitResult` is bit-identical to the one the split-level task
+    computes:
+
+    * **R1** pairs are the cells' own pairs;
+    * **R2** composes each method's pair from R1 ingredients — the best
+      dirty model's before-score and the best clean model's after-score
+      are exactly the floats those models' R1 cells recorded (this is the
+      identity the sequential runner's evaluation memo exploits);
+    * **R3** selects among R2 pairs by the recorded ``clean_val_score``,
+      first-strictly-better in method order.
+
+    Best-model selection replicates ``max()``'s tie rule (the earliest
+    model in ``config.models`` order wins ties).  The method-independent
+    dirty validation scores are recomputed by every method's cells, so
+    their agreement is asserted as a free determinism check.
+    """
+    order = {name: position for position, name in enumerate(models)}
+    cells = sorted(cells, key=lambda c: (c.method_index, order[c.model]))
+    splits = {cell.split for cell in cells}
+    if len(splits) != 1:
+        raise ValueError(
+            f"cell results span multiple splits: {sorted(splits)}"
+        )
+    split = splits.pop()
+
+    by_method: dict[int, dict[str, CellResult]] = {}
+    for cell in cells:
+        row = by_method.setdefault(cell.method_index, {})
+        if cell.model in row:
+            raise ValueError(
+                f"duplicate cell for split {split}, method "
+                f"{cell.method_index}, model {cell.model!r}"
+            )
+        row[cell.model] = cell
+    if sorted(by_method) != list(range(n_methods)) or any(
+        set(row) != set(models) for row in by_method.values()
+    ):
+        raise ValueError(
+            f"split {split} is missing cells: expected {n_methods} methods "
+            f"x models {models}, got "
+            f"{ {index: sorted(row) for index, row in by_method.items()} }"
+        )
+
+    first_row = by_method[0]
+    for row in by_method.values():
+        for name in models:
+            if row[name].dirty_val_score != first_row[name].dirty_val_score:
+                raise ValueError(
+                    f"dirty validation scores diverged across methods for "
+                    f"split {split}, model {name!r} — sub-unit execution "
+                    "is nondeterministic"
+                )
+
+    def best_model(scores: dict[str, float]) -> str:
+        best = models[0]
+        for name in models[1:]:
+            if scores[name] > scores[best]:
+                best = name
+        return best
+
+    def pair_for(cell: CellResult, scenario) -> MetricPair:
+        for recorded, pair in cell.pairs:
+            if recorded is scenario or recorded == scenario:
+                return pair
+        raise ValueError(
+            f"cell {cell.method_index}/{cell.model!r} carries no "
+            f"{scenario} pair"
+        )
+
+    best_dirty = best_model(
+        {name: first_row[name].dirty_val_score for name in models}
+    )
+    r1: dict[tuple, list[MetricPair]] = {}
+    r2: dict[tuple, list[MetricPair]] = {}
+    r3: dict[tuple, list[MetricPair]] = {}
+    best_method_score: dict[Scenario, float] = {}
+    best_method_pair: dict[Scenario, MetricPair] = {}
+    for index in range(n_methods):
+        row = by_method[index]
+        sample = row[models[0]]
+        detection, repair = sample.detection, sample.repair
+        best_clean = best_model(
+            {name: row[name].clean_val_score for name in models}
+        )
+        for scenario in scenarios_for(error_type):
+            for name in models:
+                key = (detection, repair, name, scenario)
+                r1.setdefault(key, []).append(pair_for(row[name], scenario))
+            if scenario is Scenario.BD:
+                pair = MetricPair(
+                    before=pair_for(row[best_dirty], scenario).before,
+                    after=pair_for(row[best_clean], scenario).after,
+                )
+            else:
+                source = pair_for(row[best_clean], scenario)
+                pair = MetricPair(before=source.before, after=source.after)
+            r2.setdefault((detection, repair, scenario), []).append(pair)
+
+            score = row[best_clean].clean_val_score
+            if (
+                scenario not in best_method_score
+                or score > best_method_score[scenario]
+            ):
+                best_method_score[scenario] = score
+                best_method_pair[scenario] = pair
+
+    for scenario, pair in best_method_pair.items():
+        r3.setdefault((scenario,), []).append(pair)
+    return SplitResult(split=split, r1=r1, r2=r2, r3=r3)
 
 
 def _accumulate_split(

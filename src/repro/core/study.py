@@ -68,7 +68,11 @@ class CleanMLStudy:
     # -- execution --------------------------------------------------------------
 
     def run(
-        self, progress=None, n_jobs: int | None = None, checkpoint=None
+        self,
+        progress=None,
+        n_jobs: int | None = None,
+        checkpoint=None,
+        granularity: str | None = None,
     ) -> CleanMLDatabase:
         """Execute all queued blocks and return the populated database.
 
@@ -80,6 +84,14 @@ class CleanMLStudy:
         the executor decomposes blocks into per-split tasks whose seeds
         depend only on the split index, and merges them in split order
         (see :mod:`repro.core.executor`).
+
+        ``granularity`` sets the scheduling granularity (default:
+        ``config.granularity``): ``"split"`` runs one task per split;
+        ``"cell"`` decomposes each split into (cleaning method, model)
+        sub-units and ``"fold"`` additionally fans each cell's CV folds
+        out — the levers that keep every worker busy when a study has
+        fewer splits than the machine has cores.  Like ``n_jobs``, the
+        choice never changes a single bit of the results.
 
         ``checkpoint`` is an optional path of a task ledger: completed
         (dataset, error type, split) tasks recorded there are skipped,
@@ -93,6 +105,7 @@ class CleanMLStudy:
                 n_jobs=n_jobs,
                 checkpoint=checkpoint,
                 progress=progress,
+                granularity=granularity,
             )
         )
         self._queue.clear()

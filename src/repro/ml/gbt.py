@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Classifier, check_fit_inputs, one_hot, softmax
-from .tree import DecisionTreeClassifier, RootSortWorkspace
+from .tree import _SPLIT_BLOCK_ELEMENTS, DecisionTreeClassifier, RootSortWorkspace
 
 _EPS = 1e-12
 
@@ -97,7 +97,36 @@ class _GradientTree:
         node.right = self._build(X[~mask], grad[~mask], hess[~mask], depth + 1)
         return node
 
+    #: process-wide switch for the feature-vectorized split search;
+    #: ``repro.core.runner.kernel_disabled`` flips it alongside
+    #: ``DecisionTreeClassifier.vectorized_split``
+    vectorized_split = True
+
     def _best_split(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+        sort_cache: dict | None = None,
+    ) -> tuple[int, float] | None:
+        """Best (feature, threshold) by regularized gain, or ``None``.
+
+        Dispatches to the feature-vectorized search; the per-feature
+        loop survives as :meth:`_best_split_reference`, the executable
+        spec the vectorized path is pinned against bit for bit (the
+        same discipline as the CART builder's ``_best_split``).
+        """
+        if self.vectorized_split:
+            return self._best_split_vectorized(
+                X, grad, hess, grad_sum, hess_sum, sort_cache
+            )
+        return self._best_split_reference(
+            X, grad, hess, grad_sum, hess_sum, sort_cache
+        )
+
+    def _best_split_reference(
         self,
         X: np.ndarray,
         grad: np.ndarray,
@@ -143,6 +172,94 @@ class _GradientTree:
                 position = boundary[pick]
                 best = (feature, float(0.5 * (sorted_x[position - 1] + sorted_x[position])))
         return best
+
+    def _best_split_vectorized(
+        self,
+        X: np.ndarray,
+        grad: np.ndarray,
+        hess: np.ndarray,
+        grad_sum: float,
+        hess_sum: float,
+        sort_cache: dict | None = None,
+    ) -> tuple[int, float] | None:
+        """One broadcast pass over every candidate feature at once.
+
+        The same transformation the CART builder's
+        ``_best_split_vectorized`` applies: the reference loop pays a
+        handful of small numpy calls per feature per node, and on the
+        wide one-hot matrices the study encodes that Python overhead —
+        not the sorting — dominates tree building.  Every arithmetic
+        step applies the reference's elementwise gain formula per
+        column, the cumulative (gradient, hessian) sums stay sequential
+        per lane, positions are scanned ascending within a feature and
+        features ascending across the matrix, so the chosen split is
+        bit-identical to :meth:`_best_split_reference` — pinned per node
+        by ``tests/test_tuning_kernel.py``.
+
+        Features are processed in chunks sized to keep the
+        ``(rows, features)`` temporaries near the shared block budget;
+        per-feature best gains are chunk-independent, so the final
+        cross-feature scan is unchanged.
+        """
+        n_samples, n_features = X.shape
+        parent_score = grad_sum**2 / (hess_sum + self.reg_lambda + _EPS)
+
+        # ~6 (rows, features) float64 temporaries live at once (sorted
+        # values, two cumsums, two child sums, gains)
+        chunk = max(1, _SPLIT_BLOCK_ELEMENTS // max(6 * n_samples, 1))
+        best_gain = np.full(n_features, -np.inf)
+        best_threshold = np.zeros(n_features)
+        for start in range(0, n_features, chunk):
+            selected = np.arange(start, min(start + chunk, n_features))
+            if sort_cache is not None:
+                orders = np.empty((n_samples, len(selected)), dtype=np.intp)
+                for column, feature in enumerate(selected):
+                    orders[:, column] = DecisionTreeClassifier._feature_order(
+                        X, feature, sort_cache
+                    )
+                columns = X[:, selected]
+            else:
+                columns = X[:, selected]
+                orders = np.argsort(columns, axis=0, kind="stable")
+            sorted_x = np.take_along_axis(columns, orders, axis=0)
+            cum_grad = np.cumsum(grad[orders], axis=0)
+            cum_hess = np.cumsum(hess[orders], axis=0)
+
+            # a split between positions i and i+1 requires a value
+            # change and min_child_weight hessian mass on both sides
+            valid = sorted_x[1:] > sorted_x[:-1] + _EPS
+            left_grad = cum_grad[:-1]
+            left_hess = cum_hess[:-1]
+            right_grad = grad_sum - left_grad
+            right_hess = hess_sum - left_hess
+            valid &= (left_hess >= self.min_child_weight) & (
+                right_hess >= self.min_child_weight
+            )
+            if not np.any(valid):
+                continue
+
+            # the denominators repeat the reference's left-to-right adds
+            # (float addition is non-associative; pre-summing the
+            # regularizer would shift bits)
+            gains = 0.5 * (
+                left_grad**2 / (left_hess + self.reg_lambda + _EPS)
+                + right_grad**2 / (right_hess + self.reg_lambda + _EPS)
+                - parent_score
+            ) - self.gamma
+            gains[~valid] = -np.inf
+
+            per_feature = gains.max(axis=0)
+            splits_at = np.argmax(gains, axis=0) + 1
+            best_gain[selected] = per_feature
+            best_threshold[selected] = 0.5 * (
+                np.take_along_axis(sorted_x, (splits_at - 1)[None, :], 0)[0]
+                + np.take_along_axis(sorted_x, splits_at[None, :], 0)[0]
+            )
+
+        feature = int(np.argmax(best_gain))
+        if not best_gain[feature] > _EPS:
+            return None
+        return (feature, float(best_threshold[feature]))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         out = np.empty(len(X))

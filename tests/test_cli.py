@@ -23,6 +23,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "EEG", "typos"])
 
+    def test_granularity_parses_and_rejects_unknown(self):
+        args = build_parser().parse_args(
+            ["run", "EEG", "outliers", "--granularity", "cell"]
+        )
+        assert args.granularity == "cell"
+        assert build_parser().parse_args(
+            ["run", "EEG", "outliers"]
+        ).granularity == "split"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "EEG", "outliers", "--granularity", "block"]
+            )
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -45,6 +58,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Q1 on R1" in out
         assert "relation sizes" in out
+
+    def test_run_small_study_at_cell_granularity(self, capsys):
+        code = main(
+            ["run", "Sensor", "outliers", "--splits", "2",
+             "--cv-folds", "2", "--rows", "150",
+             "--models", "naive_bayes", "knn",
+             "--granularity", "cell"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q1 on R1" in out
 
     def test_run_unknown_dataset(self, capsys):
         assert main(["run", "MNIST", "outliers"]) == 2

@@ -391,3 +391,148 @@ class TestStudyConfigFreeze:
             "hidden": [16, 8],
             "opts": {"momentum": 0.9},
         }
+
+
+class TestCellCheckpoints:
+    """Sub-unit ledger entries: crash recovery and cross-ledger merges."""
+
+    CELL_CONFIG = StudyConfig(
+        n_splits=2, cv_folds=2, models=("logistic_regression", "knn"), seed=7
+    )
+
+    def make_cell_study(self):
+        study = CleanMLStudy(self.CELL_CONFIG)
+        study.add(
+            load_dataset("Sensor", seed=0, n_rows=150),
+            OUTLIERS,
+            methods=[
+                OutlierCleaning("SD", "mean"),
+                OutlierCleaning("IQR", "mean"),
+            ],
+        )
+        return study
+
+    def reference_experiments(self):
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="split")
+        return study.raw_experiments
+
+    def test_cell_run_interleaves_cell_and_split_entries(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="cell", checkpoint=ledger)
+        entries = [json.loads(line) for line in ledger.read_text().splitlines()[1:]]
+        cells = [e for e in entries if "cell" in e]
+        splits = [e for e in entries if "task" in e]
+        # 2 methods x 2 models x 2 splits cells, one split entry per split
+        assert len(cells) == 8
+        assert len(splits) == 2
+
+    def test_crash_mid_cell_append_resumes_identically(self, tmp_path):
+        """Torn final line injected *inside a cell entry* at cell granularity.
+
+        The signature of a crash mid-append while a split was still
+        accumulating cells: the ledger ends in half a cell line, with
+        that split's earlier cells complete and no split entry yet.  The
+        resume must drop the torn line, reuse the banked cells, re-run
+        only the missing ones, and produce bit-identical experiments.
+        """
+        reference = self.reference_experiments()
+        ledger = tmp_path / "ledger.jsonl"
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="cell", checkpoint=ledger)
+
+        lines = ledger.read_text().splitlines(keepends=True)
+        # keep the header + the first three cell entries, then tear the
+        # fourth cell entry mid-append (its split entry never lands)
+        assert all('"cell"' in line for line in lines[1:4])
+        ledger.write_text("".join(lines[:4]) + lines[4][: len(lines[4]) // 2])
+
+        from repro.core import load_checkpoint_units
+
+        done, cells = load_checkpoint_units(ledger)
+        assert done == {} and len(cells) == 3  # torn line dropped
+
+        resumed = self.make_cell_study()
+        resumed.run(n_jobs=1, granularity="cell", checkpoint=ledger)
+        assert resumed.raw_experiments == reference
+
+        # the healed ledger is now complete: a further rerun skips all work
+        size = ledger.stat().st_size
+        again = self.make_cell_study()
+        again.run(n_jobs=1, granularity="cell", checkpoint=ledger)
+        assert ledger.stat().st_size == size
+        assert again.raw_experiments == reference
+
+    def test_cell_ledger_resumes_at_other_granularities(self, tmp_path):
+        """Cells banked at cell granularity serve a fold-level resume, and
+        split entries serve a split-level one."""
+        reference = self.reference_experiments()
+        ledger = tmp_path / "ledger.jsonl"
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="cell", checkpoint=ledger)
+        lines = ledger.read_text().splitlines(keepends=True)
+        ledger.write_text("".join(lines[:5]))  # four cells, no split entry
+        for granularity in ("fold", "split"):
+            resumed = self.make_cell_study()
+            resumed.run(n_jobs=1, granularity=granularity, checkpoint=ledger)
+            assert resumed.raw_experiments == reference
+
+    def test_cell_entries_round_trip_merge_checkpoints(self, tmp_path):
+        """Sub-unit entries survive append -> load -> merge across ledgers."""
+        from repro.core import (
+            append_cell_checkpoint,
+            load_checkpoint_units,
+            merge_checkpoints,
+        )
+
+        full = tmp_path / "full.jsonl"
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="cell", checkpoint=full)
+        done, cells = load_checkpoint_units(full)
+        assert len(cells) == 8 and len(done) == 2
+
+        # shard a few cells into a second ledger, as a sharded run would
+        shard = tmp_path / "shard.jsonl"
+        fingerprint = study_fingerprint(
+            self.make_cell_study()._queue, self.CELL_CONFIG
+        )
+        for key, cell in list(cells.items())[:3]:
+            append_cell_checkpoint(
+                shard, key[:3], cell, fingerprint=fingerprint
+            )
+
+        merged = merge_checkpoints([full, shard])
+        assert {key for key in merged if len(key) == 5} == set(cells)
+        assert {key for key in merged if len(key) == 3} == set(done)
+        for key, cell in cells.items():
+            assert merged[key] == cell
+
+    def test_conflicting_cell_entries_refuse_to_merge(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.core import (
+            CheckpointError,
+            append_cell_checkpoint,
+            load_checkpoint_units,
+            merge_checkpoints,
+        )
+
+        full = tmp_path / "full.jsonl"
+        study = self.make_cell_study()
+        study.run(n_jobs=1, granularity="cell", checkpoint=full)
+        _, cells = load_checkpoint_units(full)
+        key, cell = next(iter(cells.items()))
+        drifted = replace(cell, clean_val_score=cell.clean_val_score + 0.5)
+        conflict = tmp_path / "conflict.jsonl"
+        append_cell_checkpoint(conflict, key[:3], drifted)
+        with pytest.raises(CheckpointError):
+            merge_checkpoints([full, conflict])
+
+    def test_parallel_cell_run_writes_resumable_checkpoint(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        first = self.make_cell_study()
+        first.run(n_jobs=2, granularity="cell", checkpoint=ledger)
+        second = self.make_cell_study()
+        second.run(n_jobs=1, granularity="split", checkpoint=ledger)
+        assert first.raw_experiments == second.raw_experiments

@@ -140,7 +140,8 @@ class TestCheckpointFormat:
         ledger = tmp_path / "ledger.jsonl"
         append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
         header = json.loads(ledger.read_text().splitlines()[0])
-        assert header["format_version"] == FORMAT_VERSION == 2
+        # 3 since cell sub-unit entries landed (two-level executor)
+        assert header["format_version"] == FORMAT_VERSION == 3
 
     def test_unsupported_version_rejected(self, tmp_path):
         ledger = tmp_path / "ledger.jsonl"

@@ -511,3 +511,108 @@ class TestStudyParity:
             reference = self.make_study()
             reference.run(n_jobs=1)
         assert kernel.raw_experiments == reference.raw_experiments
+
+
+class TestVectorizedGBTSplitIsTheReference:
+    """XGBoost's broadcast split search == its per-feature loop, bit for bit.
+
+    The same discipline as the CART builder's vectorized search: every
+    regression-tree node of every boosting round and class must carry
+    the identical (feature, threshold, leaf value), so the additive
+    scores — and hence predictions — are bit-identical.
+    """
+
+    def fit_pair(self, X, y, **params):
+        from repro.ml.gbt import _GradientTree
+
+        base = {"n_estimators": 4, "max_depth": 3, "random_state": 0}
+        base.update(params)
+        vectorized = XGBoostClassifier(**base)
+        assert _GradientTree.vectorized_split
+        vectorized.fit(X, y)
+        reference = XGBoostClassifier(**base)
+        _GradientTree.vectorized_split = False
+        try:
+            reference.fit(X, y)
+        finally:
+            _GradientTree.vectorized_split = True
+        return vectorized, reference
+
+    @staticmethod
+    def assert_same_gradient_trees(a, b):
+        """Node-for-node equality of every (round, class) regression tree."""
+        assert len(a.trees_) == len(b.trees_)
+        for round_a, round_b in zip(a.trees_, b.trees_):
+            assert len(round_a) == len(round_b)
+            for tree_a, tree_b in zip(round_a, round_b):
+                stack = [(tree_a._root, tree_b._root)]
+                while stack:
+                    left, right = stack.pop()
+                    assert left.feature == right.feature
+                    assert left.threshold == right.threshold
+                    assert left.value == right.value
+                    if left.feature is not None:
+                        stack.append((left.left, right.left))
+                        stack.append((left.right, right.right))
+
+    @pytest.mark.parametrize("dataset_name", PARITY_DATASETS)
+    def test_registry_tables_per_node(self, dataset_name):
+        X, y = encoded_dataset(dataset_name)
+        vectorized, reference = self.fit_pair(X, y)
+        self.assert_same_gradient_trees(vectorized, reference)
+        assert np.array_equal(
+            vectorized.decision_function(X), reference.decision_function(X)
+        )
+
+    def test_regularizer_knobs_per_node(self):
+        X, y = make_blobs(n_per_class=30, n_classes=3, seed=5)
+        vectorized, reference = self.fit_pair(
+            X, y, gamma=0.05, min_child_weight=0.3, reg_lambda=0.5
+        )
+        self.assert_same_gradient_trees(vectorized, reference)
+
+    def test_tied_and_constant_features_per_node(self):
+        rng = np.random.default_rng(11)
+        # one-hot-like ties, a constant column, and duplicated values —
+        # the argmax tie-break territory
+        X = np.column_stack(
+            [
+                rng.integers(0, 2, 80).astype(float),
+                np.zeros(80),
+                rng.integers(0, 3, 80).astype(float),
+                np.repeat(rng.normal(size=8), 10),
+            ]
+        )
+        y = rng.integers(0, 2, 80)
+        vectorized, reference = self.fit_pair(X, y, max_depth=4)
+        self.assert_same_gradient_trees(vectorized, reference)
+
+    def test_direct_split_parity_with_shared_root_cache(self):
+        from repro.ml.gbt import _GradientTree
+
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(60, 5))
+        X[:, 2] = np.round(X[:, 2])  # heavy ties
+        grad = rng.normal(size=60)
+        hess = rng.uniform(0.01, 1.0, size=60)
+        tree = _GradientTree(
+            max_depth=3, reg_lambda=1.0, gamma=0.0, min_child_weight=1e-3
+        )
+        for cache in (None, {}):
+            sort_cache = dict(cache) if cache is not None else None
+            vectorized = tree._best_split_vectorized(
+                X, grad, hess, float(grad.sum()), float(hess.sum()), sort_cache
+            )
+            sort_cache = dict(cache) if cache is not None else None
+            reference = tree._best_split_reference(
+                X, grad, hess, float(grad.sum()), float(hess.sum()), sort_cache
+            )
+            assert vectorized == reference
+
+    def test_kernel_disabled_flips_the_switch(self):
+        from repro.ml.gbt import _GradientTree
+
+        assert _GradientTree.vectorized_split
+        with kernel_disabled():
+            assert not _GradientTree.vectorized_split
+        assert _GradientTree.vectorized_split
