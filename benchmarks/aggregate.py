@@ -30,6 +30,7 @@ HEADLINE_KEYS = (
     "naive_seconds",
     "kernel_seconds",
     "tasks_per_second",
+    "rows_per_second",
     "n_tasks",
 )
 

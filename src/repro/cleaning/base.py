@@ -324,6 +324,11 @@ class CleaningMethod(ABC):
         for name in table.schema.names:
             before = table.column(name)
             after = cleaned.column(name)
+            if before.aliases(after):
+                # transform passed the column through untouched (same
+                # shared buffer, same view state) — provably equal, skip
+                # the O(n) element comparison
+                continue
             before_missing = before.missing_mask()
             after_missing = after.missing_mask()
             # a row changed where missingness flipped, or where both

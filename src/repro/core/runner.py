@@ -110,6 +110,7 @@ from ..ml.model_selection import (
 from ..ml.tree import DecisionTreeClassifier
 from ..ml.registry import MODEL_NAMES, make_model, search_space
 from ..table import FeatureEncoder, LabelEncoder, Table, train_test_split
+from ..table.column import table_views_disabled
 from ..table.ops import minority_class
 from .schema import MetricPair, Scenario
 
@@ -342,9 +343,11 @@ def kernel_disabled():
     re-encodes and re-predicts), the detection cache (every cleaning
     method fits and applies a private detector), and the fold-major
     tuning kernel (every search candidate is cloned and fitted
-    candidate-major with no shared fold slices or workspaces), and
-    routes encoder transforms and the CART split search through their
-    per-row / per-feature reference implementations.  Benchmarks time
+    candidate-major with no shared fold slices or workspaces), routes
+    encoder transforms and the CART split search through their
+    per-row / per-feature reference implementations, and switches the
+    table core back to eager copy-on-``take``
+    (:func:`~repro.table.column.table_views_disabled`).  Benchmarks time
     this path as the "before" state
     and tests assert it produces bit-identical results, which is the
     kernel's correctness contract.
@@ -363,7 +366,7 @@ def kernel_disabled():
     DecisionTreeClassifier.vectorized_split = False
     _GradientTree.vectorized_split = False
     try:
-        with tuning_kernel_disabled():
+        with tuning_kernel_disabled(), table_views_disabled():
             yield
     finally:
         _KERNEL_ENABLED = previous_kernel
@@ -956,6 +959,13 @@ class SplitWorkspace:
     sequential path (which evicts per method), a workspace retains its
     split's method state until the executor drops the workspace, so peak
     worker memory is one split's footprint.
+
+    Rebuilds are cheap on the columnar core: ``train_test_split``
+    produces zero-copy view tables over the dataset's buffers, and the
+    shared encodings slice straight from those buffers — a worker that
+    re-derives a split pays index arithmetic, not a second copy of the
+    dataset (eager copies return under
+    :func:`~repro.table.column.table_views_disabled`).
     """
 
     def __init__(self, run: ErrorTypeRun, split: int) -> None:

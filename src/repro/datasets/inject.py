@@ -160,23 +160,39 @@ def inject_duplicates(
         perturb_columns = copies.schema.categorical_features
     next_id = int(np.nanmax(table.column(ROW_ID).values)) + 1
     copies = copies.with_values(ROW_ID, fresh_row_ids(copies, next_id))
+    # One mutable copy per column, made on first touch and edited in
+    # place across the row loop.  The loop body only ever reads and
+    # writes its own row, so this is value-identical to the historical
+    # copy-per-(row, column) rebuild — and, because materializing a copy
+    # draws nothing from ``rng``, the random sequence (the exactness
+    # draw, the 0.7 perturb draw, perturb_string's draws, the numeric
+    # jitter) is consumed in exactly the historical order.
+    mutable: dict[str, np.ndarray] = {}
+    ctypes: dict[str, "ColumnType"] = {}
+
+    def values_for(name: str) -> np.ndarray:
+        values = mutable.get(name)
+        if values is None:
+            column = copies.column(name)
+            mutable[name] = values = column.values.copy()
+            ctypes[name] = column.ctype
+        return values
+
     for position in range(copies.n_rows):
         if rng.random() < exact_fraction:
             continue
         for name in perturb_columns:
-            column = copies.column(name)
-            values = column.values.copy()
+            values = values_for(name)
             if values[position] is None:
                 continue
             if rng.random() < 0.7:
                 values[position] = perturb_string(str(values[position]), rng)
-            copies = copies.with_column(name, Column(values, column.ctype))
         for name in copies.schema.numeric_features:
-            column = copies.column(name)
-            values = column.values.copy()
+            values = values_for(name)
             if not np.isnan(values[position]):
                 values[position] = values[position] * (1.0 + rng.normal(0.0, 0.01))
-            copies = copies.with_column(name, Column(values, column.ctype))
+    for name, values in mutable.items():
+        copies = copies.with_column(name, Column(values, ctypes[name]))
     merged = table.concat(copies)
     return merged.take(rng.permutation(merged.n_rows))
 

@@ -1,6 +1,6 @@
 """Tabular substrate: typed columns, tables, splits, encoding, CSV I/O."""
 
-from .column import Column
+from .column import Column, table_views_disabled, table_views_enabled
 from .encode import FeatureEncoder, LabelEncoder, encode_pair
 from .io import read_csv, write_csv
 from .ops import (
@@ -46,6 +46,8 @@ __all__ = [
     "split_indices",
     "stratified_split_indices",
     "summarize",
+    "table_views_disabled",
+    "table_views_enabled",
     "train_test_split",
     "write_csv",
 ]

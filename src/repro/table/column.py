@@ -4,15 +4,70 @@ A :class:`Column` wraps a numpy array plus its :class:`ColumnType` and
 provides missing-aware statistics (mean / median / mode / std / quantiles)
 that the cleaning algorithms rely on.  All statistics ignore missing
 entries, matching how CleanML computes repair statistics on dirty data.
+
+Columnar buffer/view memory model (ISSUE 6)
+-------------------------------------------
+Storage is a contiguous **buffer** (``float64`` for NUMERIC, object-of-str
+for CATEGORICAL) that is *immutable once shared*: the first view taken
+over a buffer locks it read-only, so every consumer that wants to mutate
+must copy first — which is the discipline the cleaning layer already
+follows (``column.values.copy()``).
+
+:meth:`Column.take` returns a **zero-copy view**: a column that shares
+the parent's buffer and carries only an integer row-index array.  Views
+compose — ``take(take(...))`` folds the two index arrays with integer
+arithmetic and never touches the value buffer — and **materialize
+lazily**: the first access to :attr:`values` gathers ``buffer[indices]``
+once and caches the result, after which the column behaves exactly like
+an eagerly-copied one.  Consumers that need a private mutable array use
+:meth:`gather`, which never caches (and never aliases the shared
+buffer), so hot paths like the feature encoder can slice straight from
+the buffer without ever materializing the view.
+
+The pre-view, copy-on-``take`` implementation survives as
+:meth:`Column._take_reference` — the executable reference path that
+:func:`table_views_disabled` switches back in, following the repo-wide
+kernel pattern (reference kept in-tree, bit-equality pinned by tests).
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 
 import numpy as np
 
 from .schema import ColumnType
+
+#: process-wide switch for zero-copy table views; flip only through
+#: :func:`table_views_disabled`
+_VIEWS_ENABLED = True
+
+
+def table_views_enabled() -> bool:
+    """Whether ``take``/``mask`` produce zero-copy index views."""
+    return _VIEWS_ENABLED
+
+
+@contextmanager
+def table_views_disabled():
+    """Run on the copy-based reference table core for the block.
+
+    ``Column.take`` (and everything built on it: ``Table.take``/``mask``/
+    ``drop_rows``/``iter_chunks``, train/test splitting, fold slicing)
+    falls back to the pre-view behavior of eagerly copying the selected
+    rows into fresh arrays.  The view path must produce byte-identical
+    persisted study output — the parity suite and the table-core
+    benchmark hold it to that, the same contract every other kernel
+    switch in this repo enforces.
+    """
+    global _VIEWS_ENABLED
+    previous = _VIEWS_ENABLED
+    _VIEWS_ENABLED = False
+    try:
+        yield
+    finally:
+        _VIEWS_ENABLED = previous
 
 
 class Column:
@@ -21,19 +76,56 @@ class Column:
     NUMERIC data is a ``float64`` array (``NaN`` = missing); CATEGORICAL
     data is an object array of ``str`` (``None`` = missing).  Construction
     normalizes arbitrary python sequences into that representation.
+
+    Internally a column is a ``(buffer, indices)`` pair: ``indices is
+    None`` for a base column that owns its buffer outright, an integer
+    array for a zero-copy view produced by :meth:`take`.  :attr:`values`
+    always returns the materialized row-ordered array, gathering (and
+    caching) lazily for views.
     """
 
     def __init__(self, values, ctype: ColumnType) -> None:
         self.ctype = ctype
         if ctype is ColumnType.NUMERIC:
-            self.values = _as_numeric(values)
+            self._buffer = _as_numeric(values)
         else:
-            self.values = _as_categorical(values)
+            self._buffer = _as_categorical(values)
+        self._indices: np.ndarray | None = None
 
     # -- basic protocol ----------------------------------------------------
 
+    @property
+    def values(self) -> np.ndarray:
+        """The column's materialized values (lazy for views, then cached)."""
+        if self._indices is not None:
+            self._buffer = self._buffer[self._indices]
+            self._indices = None
+        return self._buffer
+
+    @property
+    def is_view(self) -> bool:
+        """True while this column is an unmaterialized zero-copy view."""
+        return self._indices is not None
+
+    @property
+    def base_buffer(self) -> np.ndarray:
+        """The underlying shared buffer, without materializing a view.
+
+        For a base column this is simply its storage; for a view it is
+        the parent's buffer — which is what the no-copy identity checks
+        in the table-core benchmark assert on.
+        """
+        return self._buffer
+
+    @property
+    def view_indices(self) -> np.ndarray | None:
+        """The view's row-index array (``None`` once materialized)."""
+        return self._indices
+
     def __len__(self) -> int:
-        return len(self.values)
+        if self._indices is not None:
+            return len(self._indices)
+        return len(self._buffer)
 
     def __getitem__(self, index):
         return self.values[index]
@@ -50,7 +142,8 @@ class Column:
         return bool(np.array_equal(self.values[present], other.values[present]))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Column({self.ctype.value}, n={len(self)})"
+        state = "view" if self.is_view else "base"
+        return f"Column({self.ctype.value}, n={len(self)}, {state})"
 
     @property
     def is_numeric(self) -> bool:
@@ -59,15 +152,79 @@ class Column:
     def copy(self) -> "Column":
         clone = Column.__new__(Column)
         clone.ctype = self.ctype
-        clone.values = self.values.copy()
+        clone._buffer = self.gather()
+        clone._indices = None
         return clone
 
+    def gather(self) -> np.ndarray:
+        """A fresh, writable, materialized array — never cached.
+
+        For a view this is one ``buffer[indices]`` gather (the same
+        bits :attr:`values` would cache); for a base column, a plain
+        copy.  The result never aliases the shared buffer, so callers
+        may mutate it freely — this is the encoder's fast path.
+        """
+        if self._indices is not None:
+            return self._buffer[self._indices]
+        return self._buffer.copy()
+
     def take(self, indices) -> "Column":
-        """New column containing the rows at ``indices`` (in order)."""
+        """New column containing the rows at ``indices`` (in order).
+
+        With views enabled this is zero-copy: the result shares this
+        column's buffer and only carries the (composed) index array.
+        The buffer is locked read-only the moment it becomes shared, so
+        an accidental in-place write through one alias cannot corrupt
+        the others.
+        """
+        if not _VIEWS_ENABLED:
+            return self._take_reference(indices)
+        indices = np.asarray(indices)
+        if indices.dtype == bool:
+            indices = np.nonzero(indices)[0]
+        else:
+            indices = indices.astype(np.intp, copy=False)
+        if self._indices is not None:
+            # view-of-view: fold to a single indirection over the base
+            # buffer with index arithmetic — no value gather
+            indices = self._indices[indices]
+        self._buffer.setflags(write=False)
+        view = Column.__new__(Column)
+        view.ctype = self.ctype
+        view._buffer = self._buffer
+        view._indices = indices
+        return view
+
+    def _take_reference(self, indices) -> "Column":
+        """The pre-view eager take — kept as the executable spec.
+
+        Materializes the selected rows into a fresh array immediately;
+        :func:`table_views_disabled` routes :meth:`take` through this,
+        and the view path must match it value-for-value.
+        """
         clone = Column.__new__(Column)
         clone.ctype = self.ctype
-        clone.values = self.values[np.asarray(indices)]
+        clone._buffer = self.values[np.asarray(indices)]
+        clone._indices = None
         return clone
+
+    def aliases(self, other: "Column") -> bool:
+        """True when the two columns *provably* hold identical values.
+
+        Conservative identity check — same object, or same buffer with
+        the same view state — that never compares elements.  Lets
+        consumers (e.g. the default ``affected_rows``) skip O(n)
+        comparisons for columns a transform passed through untouched.
+        """
+        if self is other:
+            return True
+        if self.ctype is not other.ctype:
+            return False
+        if self._buffer is not other._buffer:
+            return False
+        if self._indices is None and other._indices is None:
+            return True
+        return self._indices is other._indices
 
     # -- missing values ----------------------------------------------------
 

@@ -12,6 +12,13 @@ original per-row implementation is retained as
 :meth:`FeatureEncoder._transform_reference`, the executable spec the
 vectorized path must match bit-for-bit (``tests/test_split_kernel.py``
 asserts the equality across every registry dataset).
+
+The encoder is also view-aware: numeric blocks slice straight out of the
+column's shared buffer with one :meth:`~repro.table.column.Column.gather`
+(never materializing the view's cache), and categorical codes are
+computed once per *base buffer* and re-sliced per view — so encoding k
+fold-views of one table pays the Python-level value→code map exactly
+once instead of k times.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from itertools import repeat
 
 import numpy as np
 
+from .column import table_views_enabled
 from .schema import ColumnType
 from .table import Table
 
@@ -104,6 +112,9 @@ class FeatureEncoder:
         self._index: dict[str, dict[str, int]] = {}
         self.feature_names_: list[str] = []
         self._fitted = False
+        # (name, id(base buffer)) -> (buffer, codes); the buffer reference
+        # keeps the id stable for as long as the entry lives
+        self._code_cache: dict[tuple[str, int], tuple[np.ndarray, np.ndarray]] = {}
 
     def fit(self, table: Table) -> "FeatureEncoder":
         schema = table.schema
@@ -111,17 +122,33 @@ class FeatureEncoder:
         self._categorical = schema.categorical_features
         self._means, self._stds = {}, {}
         self._vocab, self._index = {}, {}
+        self._code_cache = {}  # codes depend on the fitted vocabulary
         for name in self._numeric:
             column = table.column(name)
             mean, std = column.mean(), column.std()
             self._means[name] = 0.0 if np.isnan(mean) else mean
             self._stds[name] = 1.0 if (np.isnan(std) or std == 0.0) else std
         for name in self._categorical:
-            vocab = [str(v) for v in table.column(name).unique()]
+            column = table.column(name)
+            vocab = [str(v) for v in column.unique()]
             self._vocab[name] = vocab
             # the value -> position index is part of the fitted state, so
             # transform never rebuilds it per call
-            self._index[name] = {v: j for j, v in enumerate(vocab)}
+            index = {v: j for j, v in enumerate(vocab)}
+            self._index[name] = index
+            if table_views_enabled() and index:
+                # seed the per-buffer code cache while fit already has
+                # the column in hand: every zero-copy view of this
+                # table (train/test splits, folds, chunks) then encodes
+                # with one integer gather instead of re-running the
+                # Python-level value→code map per slice
+                buffer = column.base_buffer
+                codes = np.fromiter(
+                    map(index.get, buffer, repeat(-1)),
+                    dtype=np.int64,
+                    count=len(buffer),
+                )
+                self._code_cache[(name, id(buffer))] = (buffer, codes)
         self.feature_names_ = list(self._numeric)
         for name in self._categorical:
             self.feature_names_ += [f"{name}={v}" for v in self._vocab[name]]
@@ -134,21 +161,42 @@ class FeatureEncoder:
         return len(self.feature_names_)
 
     def transform(self, table: Table) -> np.ndarray:
+        """Encode ``table`` into a dense ``(n_rows, n_features)`` matrix.
+
+        Blocks are written straight into one preallocated output — no
+        intermediate per-column blocks, no ``hstack`` reassembly pass —
+        which matters at scale: the old shape copied the whole matrix
+        twice.  Values, dtype and layout are exactly what hstack-ing
+        :meth:`_numeric_block` / :meth:`_one_hot_block` produces (the
+        per-row reference path still does precisely that).
+        """
         self._require_fitted()
         if not FeatureEncoder.vectorized:
             return self._transform_reference(table)
         n = table.n_rows
-        blocks: list[np.ndarray] = []
+        out = np.zeros((n, len(self.feature_names_)), dtype=np.float64)
+        offset = 0
         for name in self._numeric:
-            blocks.append(self._numeric_block(table, name, n))
+            values = table.column(name).gather()
+            mean, std = self._means[name], self._stds[name]
+            if self.numeric_missing == "mean":
+                values[np.isnan(values)] = mean
+            out[:, offset] = (values - mean) / std
+            offset += 1
         for name in self._categorical:
-            blocks.append(self._one_hot_block(table, name, n))
-        if not blocks:
-            return np.zeros((n, 0), dtype=np.float64)
-        return np.hstack(blocks)
+            width = len(self._vocab[name])
+            if width:
+                codes = self._category_codes(table.column(name), name, n)
+                hits = codes >= 0
+                out[np.nonzero(hits)[0], offset + codes[hits]] = 1.0
+            offset += width
+        return out
 
     def _numeric_block(self, table: Table, name: str, n: int) -> np.ndarray:
-        values = table.column(name).values.astype(np.float64, copy=True)
+        # gather() is one buffer[indices] slice for a view (the old path
+        # materialized the view *and* astype-copied it) and a plain
+        # float64 copy for a base column — identical bits either way
+        values = table.column(name).gather()
         mean, std = self._means[name], self._stds[name]
         if self.numeric_missing == "mean":
             values[np.isnan(values)] = mean
@@ -168,13 +216,36 @@ class FeatureEncoder:
         block = np.zeros((n, len(self._vocab[name])), dtype=np.float64)
         if not index:
             return block
-        values = table.column(name).values
-        codes = np.fromiter(
-            map(index.get, values, repeat(-1)), dtype=np.int64, count=n
-        )
+        codes = self._category_codes(table.column(name), name, n)
         hits = codes >= 0
         block[np.nonzero(hits)[0], codes[hits]] = 1.0
         return block
+
+    def _category_codes(self, column, name: str, n: int) -> np.ndarray:
+        """Vocabulary codes for a categorical column, view-aware.
+
+        For a base column this is the direct value→code map.  For a
+        zero-copy view the codes are computed once over the shared
+        *base* buffer, cached per ``(name, buffer)``, and re-sliced with
+        the view's index array — ``codes_base[view_indices]`` is
+        value-for-value what mapping the materialized view would give,
+        at integer-gather cost.
+        """
+        index = self._index[name]
+        if not column.is_view:
+            return np.fromiter(
+                map(index.get, column.values, repeat(-1)), dtype=np.int64, count=n
+            )
+        base = column.base_buffer
+        key = (name, id(base))
+        cached = self._code_cache.get(key)
+        if cached is None:
+            codes = np.fromiter(
+                map(index.get, base, repeat(-1)), dtype=np.int64, count=len(base)
+            )
+            cached = (base, codes)
+            self._code_cache[key] = cached
+        return cached[1][column.view_indices]
 
     def _transform_reference(self, table: Table) -> np.ndarray:
         """The original per-row transform — kept as the executable spec.

@@ -4,13 +4,21 @@ A ``Table`` is an immutable-by-convention, column-oriented relation: a
 :class:`~repro.table.schema.Schema` plus one :class:`Column` per spec.
 Every cleaning operator consumes a table and produces a *new* table, so
 dirty and cleaned versions can coexist during an experiment.
+
+Row selection (``take`` / ``mask`` / ``drop_rows`` / ``iter_chunks``,
+and everything built on them — train/test splitting, fold slicing,
+``features_table``) is **zero-copy**: the result shares each column's
+buffer and carries only an index array, materializing lazily on first
+value access (see :mod:`repro.table.column` for the memory model).
+Wrap a block in :func:`~repro.table.column.table_views_disabled` to run
+on the eager copy-based reference path instead.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .column import Column
+from .column import Column, table_views_disabled, table_views_enabled
 from .schema import ColumnSpec, ColumnType, Schema
 
 
@@ -128,7 +136,11 @@ class Table:
     # -- row selection ---------------------------------------------------------
 
     def take(self, indices) -> "Table":
-        """New table with the rows at ``indices`` (order preserved)."""
+        """New table with the rows at ``indices`` (order preserved).
+
+        Zero-copy while views are enabled: every column of the result
+        shares its parent's buffer and only the index array is new.
+        """
         indices = np.asarray(indices, dtype=int)
         return Table(
             self.schema,
@@ -144,10 +156,34 @@ class Table:
         return self.take(np.nonzero(keep)[0])
 
     def drop_rows(self, indices) -> "Table":
-        """New table without the rows at ``indices``."""
+        """New table without the rows at ``indices``.
+
+        Out-of-range and negative indices are ignored, matching the
+        historical set-membership semantics (kept executable as
+        :meth:`_drop_rows_reference`).
+        """
+        drop = np.array(sorted({int(i) for i in indices}), dtype=np.int64)
+        keep = np.isin(np.arange(self.n_rows), drop, invert=True)
+        return self.mask(keep)
+
+    def _drop_rows_reference(self, indices) -> "Table":
+        """Pre-vectorization ``drop_rows`` — parity oracle for tests."""
         drop = set(int(i) for i in indices)
         keep = np.array([i not in drop for i in range(self.n_rows)], dtype=bool)
         return self.mask(keep)
+
+    def iter_chunks(self, chunk_rows: int):
+        """Yield consecutive row blocks of at most ``chunk_rows`` rows.
+
+        Each block is a zero-copy view table (buffer-sharing ``take``),
+        so streaming pipelines — inject → split → clean → encode — can
+        walk a large table without ever holding a second full copy.
+        """
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        for start in range(0, self.n_rows, chunk_rows):
+            stop = min(start + chunk_rows, self.n_rows)
+            yield self.take(np.arange(start, stop))
 
     def concat(self, other: "Table") -> "Table":
         """Vertical concatenation; schemas must match exactly."""
@@ -159,7 +195,9 @@ class Table:
                 [self._columns[spec.name].values, other._columns[spec.name].values]
             )
             columns[spec.name] = Column(merged, spec.ctype)
-        return Table(self.schema, columns)
+        # n_rows passed explicitly: with zero columns the dict above is
+        # empty and the constructor could not recover the row count.
+        return Table(self.schema, columns, n_rows=self.n_rows + other.n_rows)
 
     # -- column manipulation -----------------------------------------------------
 
