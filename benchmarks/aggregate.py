@@ -32,6 +32,8 @@ HEADLINE_KEYS = (
     "tasks_per_second",
     "rows_per_second",
     "n_tasks",
+    "recovery_overhead",
+    "faults_recovered",
 )
 
 

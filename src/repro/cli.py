@@ -12,6 +12,11 @@ laptop configuration, ``--paper`` switches to the paper's full protocol
 (20 splits, 5-fold CV, all models).  ``--jobs N`` runs splits across N
 worker processes with bit-identical results, and ``--checkpoint PATH``
 records completed splits so an interrupted run resumes where it stopped.
+``--task-timeout`` / ``--max-retries`` / ``--quarantine`` configure the
+fault-tolerance supervisor: hung units are killed and retried with
+deterministic backoff, dead workers resurrect the pool, and with
+``--quarantine`` a unit that keeps failing is recorded in the ledger's
+failure manifest instead of aborting the study.
 """
 
 from __future__ import annotations
@@ -20,7 +25,12 @@ import argparse
 import sys
 
 from .cleaning.base import ERROR_TYPES
-from .core import CleanMLStudy, StudyConfig, render_error_type_report
+from .core import (
+    CleanMLStudy,
+    StudyConfig,
+    SupervisorConfig,
+    render_error_type_report,
+)
 from .core.reporting import relation_sizes
 from .datasets import (
     DATASET_NAMES,
@@ -81,6 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="task-ledger file: completed splits recorded "
                           "there are skipped, new ones appended (resume "
                           "an interrupted run by repeating the command)")
+    run.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock deadline per scheduled unit; a hung "
+                          "worker is killed and the unit retried "
+                          "(default: no deadline)")
+    run.add_argument("--max-retries", type=int, default=2,
+                     help="retries per failing unit before it degrades to "
+                          "its parent granularity / is quarantined "
+                          "(default: 2; retrying never changes results)")
+    run.add_argument("--quarantine", action="store_true",
+                     help="complete the study with a failure manifest when "
+                          "a unit keeps failing — the failed unit is "
+                          "recorded in the checkpoint ledger and its "
+                          "(dataset, error type) block dropped from the "
+                          "results — instead of aborting")
     return parser
 
 
@@ -162,12 +187,41 @@ def command_run(args) -> int:
             )
             continue
         study.add(dataset, args.error_type)
-    database = study.run(
-        progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr),
-        n_jobs=args.jobs,
-        checkpoint=args.checkpoint,
-        granularity=args.granularity,
+    supervisor = SupervisorConfig(
+        timeout=args.task_timeout,
+        max_retries=args.max_retries,
+        quarantine=args.quarantine,
     )
+    try:
+        database = study.run(
+            progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr),
+            n_jobs=args.jobs,
+            checkpoint=args.checkpoint,
+            granularity=args.granularity,
+            supervisor=supervisor,
+        )
+    except KeyboardInterrupt:
+        # execute_study has already cancelled pending futures and torn
+        # the pool down; everything completed is banked in the ledger.
+        print("\nrun interrupted", file=sys.stderr)
+        if args.checkpoint:
+            resume = " ".join(sys.argv if sys.argv else ["python -m repro"])
+            print(
+                f"resume with: {resume}\n(completed units recorded in "
+                f"{args.checkpoint} will be skipped)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no --checkpoint was given, so completed work was not "
+                "recorded; rerun with --checkpoint PATH to make runs "
+                "resumable",
+                file=sys.stderr,
+            )
+        return 130
+    manifest = study.failure_manifest
+    if manifest.failures or manifest.dropped_blocks:
+        print(f"\nFAILURE MANIFEST\n{manifest.describe()}", file=sys.stderr)
     print(render_error_type_report(database, args.error_type))
     sizes = relation_sizes(database)
     print(

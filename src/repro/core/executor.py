@@ -56,11 +56,32 @@ studies are bit-identical to uninterrupted ones because checkpointed
 floats round-trip exactly through JSON.  Sub-split runs additionally
 record every completed cell, so a crash mid-split resumes from the
 cells already banked rather than re-running the whole split.
+
+Fault tolerance
+---------------
+Every drain loop runs through the :class:`~repro.core.supervisor.
+Supervisor`: per-unit wall-clock deadlines, deterministic
+capped-exponential-backoff retries, ``BrokenProcessPool`` resurrection
+(rebuild the pool, re-run the block broadcast, resubmit only in-flight
+keys), and a granularity fallback chain — a repeatedly failing fold
+sub-unit degrades to its parent cell (the cell re-validates inline;
+fold waves are an optimization, never load-bearing), a failing cell
+degrades to its whole split, and a split that still fails is either
+raised (:class:`~repro.core.supervisor.StudyExecutionError`, the
+default) or — with ``SupervisorConfig(quarantine=True)`` — recorded as
+a format-4 ``failed`` ledger entry and reported through the run's
+:class:`~repro.core.supervisor.FailureManifest` while the rest of the
+study completes.  Retries and recovery never perturb results: backoff
+jitter derives from structural keys via ``derive_seed``, and a chaos
+run (:mod:`repro.core.faults`) that retried its way to completion is
+byte-identical to a fault-free run.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import sys
+import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from ..cleaning.base import CleaningMethod
@@ -80,6 +101,15 @@ from .runner import (
     merge_cell_results,
     merge_split_results,
     resolve_fold_scores,
+)
+from . import faults
+from .supervisor import (
+    FailureManifest,
+    StudyExecutionError,
+    Supervisor,
+    SupervisorConfig,
+    UnitExecutionError,
+    UnitFailure,
 )
 
 #: (dataset name, error type, split index) — the executor's unit of work
@@ -278,9 +308,37 @@ def _worker_run(block_key: tuple[str, str]) -> ErrorTypeRun:
     return run
 
 
+@contextmanager
+def _unit_errors(kind: str, key: tuple):
+    """Attach the unit's structural key to any task-body failure.
+
+    A bare exception surfacing through the pool names neither the
+    dataset nor the split that raised it; this wrapper re-raises as
+    :class:`~repro.core.supervisor.UnitExecutionError` carrying the
+    (dataset, error type, split[, cell, fold slot]) identity plus the
+    original traceback text (tracebacks themselves do not pickle).
+    Injected chaos faults pass through untouched — they already carry
+    their key — as do interrupts.
+    """
+    try:
+        yield
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except (UnitExecutionError, faults.InjectedFault):
+        raise
+    except Exception as error:
+        raise UnitExecutionError(
+            kind,
+            tuple(key),
+            f"{type(error).__name__}: {error}",
+            traceback.format_exc(),
+        ) from None
+
+
 def _execute_registered(key: TaskKey) -> tuple[TaskKey, SplitResult]:
     """Worker entry point: run one split of a broadcast block."""
-    return key, _worker_run((key[0], key[1])).run_split(key[2])
+    with _unit_errors("split", key):
+        return key, _worker_run((key[0], key[1])).run_split(key[2])
 
 
 def _worker_workspace(key: TaskKey) -> SplitWorkspace:
@@ -309,18 +367,20 @@ def _execute_cell(
     tuned_clean=None,
 ) -> tuple[TaskKey, CellResult]:
     """Worker entry point: run one (method, model) cell of a split."""
-    workspace = _worker_workspace(key)
-    return key, workspace.cell(
-        method_index, model, tuned_dirty=tuned_dirty, tuned_clean=tuned_clean
-    )
+    with _unit_errors("cell", key + (method_index, model)):
+        workspace = _worker_workspace(key)
+        return key, workspace.cell(
+            method_index, model, tuned_dirty=tuned_dirty, tuned_clean=tuned_clean
+        )
 
 
 def _execute_fold(
     key: TaskKey, role: int, model: str, slot: int
 ) -> tuple[TaskKey, int, str, int, tuple | None]:
     """Worker entry point: score one CV fold of one (role, model) search."""
-    workspace = _worker_workspace(key)
-    return key, role, model, slot, workspace.fold_scores(role, model, slot)
+    with _unit_errors("fold", key + (role, model, slot)):
+        workspace = _worker_workspace(key)
+        return key, role, model, slot, workspace.fold_scores(role, model, slot)
 
 
 def block_method_names(block: StudyBlock, config: StudyConfig) -> list[str]:
@@ -350,6 +410,8 @@ def execute_study(
     checkpoint=None,
     progress=None,
     granularity: str | None = None,
+    supervisor: SupervisorConfig | None = None,
+    manifest: FailureManifest | None = None,
 ) -> list[RawExperiment]:
     """Execute a study's task graph and return merged raw experiments.
 
@@ -383,10 +445,22 @@ def execute_study(
         pair produces byte-identical results because sub-unit seeds
         derive from structural keys and the cell reducer sorts by
         (split, method, model, fold) before accumulating.
+    supervisor:
+        Fault-tolerance knobs (:class:`SupervisorConfig`); the default
+        retries each failing unit twice with deterministic backoff and
+        raises :class:`StudyExecutionError` when retries are exhausted.
+        With ``quarantine=True`` exhausted units are recorded as
+        format-4 ``failed`` ledger entries instead and their blocks
+        dropped from the merged experiments.
+    manifest:
+        Optional :class:`FailureManifest` to fill with quarantined
+        units, dropped blocks, and recovery counters; a fresh one is
+        used (and discarded) when omitted.
     """
     from .persistence import (
         append_cell_checkpoint,
         append_checkpoint,
+        append_failed_checkpoint,
         load_checkpoint_units,
     )
 
@@ -432,54 +506,68 @@ def execute_study(
         if checkpoint is not None:
             append_cell_checkpoint(checkpoint, key, cell, fingerprint=fingerprint)
 
-    if level == "split":
-        if jobs == 1 or len(pending) <= 1:
-            _run_splits_in_process(blocks, config, by_block, announce, record)
+    sup_config = supervisor if supervisor is not None else SupervisorConfig()
+    if manifest is None:
+        manifest = FailureManifest()
+    quarantined: set[TaskKey] = set()
+
+    def quarantine_split(task_key: TaskKey, failure: UnitFailure) -> None:
+        """Terminal failure of one split: quarantine it or abort."""
+        if not sup_config.quarantine:
+            raise StudyExecutionError(failure)
+        manifest.failures.append(failure)
+        manifest.count("quarantined")
+        quarantined.add(task_key)
+        if checkpoint is not None:
+            append_failed_checkpoint(checkpoint, failure, fingerprint=fingerprint)
+
+    # The chaos plan (if any) must also be active in the parent: torn
+    # ledger appends happen here, and so do in-process units at jobs=1.
+    if sup_config.fault_plan is not None:
+        faults.install_plan(sup_config.fault_plan)
+    try:
+        if level == "split":
+            effective_jobs = 1 if (jobs == 1 or len(pending) <= 1) else jobs
+            _run_splits_supervised(
+                blocks, config, by_block, announce, record,
+                effective_jobs, sup_config, manifest, quarantine_split,
+            )
         else:
-            _run_splits_pooled(blocks, config, by_block, announce, record, jobs)
-    else:
-        _run_sub_split(
-            blocks,
-            config,
-            by_block,
-            announce,
-            record,
-            record_cell,
-            cells_done,
-            jobs,
-            level,
-        )
+            _run_sub_split(
+                blocks, config, by_block, announce, record, record_cell,
+                cells_done, jobs, level, sup_config, manifest,
+                quarantine_split,
+            )
+    except KeyboardInterrupt:
+        # The supervisor's context manager has already cancelled pending
+        # futures and torn the pool down; ledger appends are
+        # write-through (each append opens, writes, and closes the
+        # file), so everything recorded is durable.  Tell the user how
+        # to pick the run back up.
+        if checkpoint is not None:
+            print(
+                f"\ninterrupted — completed units are banked in {checkpoint}; "
+                f"re-run the same command with --checkpoint {checkpoint} "
+                "to resume",
+                file=sys.stderr,
+            )
+        raise
+    finally:
+        if sup_config.fault_plan is not None:
+            faults.clear_plan()
 
     experiments: list[RawExperiment] = []
     for block in blocks:
-        results = [
-            done[(block.dataset.name, block.error_type, split)]
-            for split in range(config.n_splits)
-        ]
+        block_key = (block.dataset.name, block.error_type)
+        keys = [block_key + (split,) for split in range(config.n_splits)]
+        if any(key in quarantined for key in keys):
+            manifest.dropped_blocks.append(block_key)
+            continue
+        results = [done[key] for key in keys]
         experiments.extend(
             merge_split_results(block.dataset.name, block.error_type, results)
         )
     return experiments
-
-
-def _run_splits_in_process(blocks, config, by_block, announce, record) -> None:
-    """Split-level sequential path: one ErrorTypeRun per block.
-
-    Per-block setup (label encoding, minority-class scan) is paid once,
-    as ``run()`` does; the runner still copies methods fresh per split.
-    """
-    for block in blocks:
-        if not announce(block):
-            continue
-        run = ErrorTypeRun(
-            block.dataset,
-            block.error_type,
-            config,
-            methods=list(block.methods) if block.methods is not None else None,
-        )
-        block_tasks = by_block[(block.dataset.name, block.error_type)]
-        for task in sorted(block_tasks, key=lambda t: t.split):
-            record(task.key, run.run_split(task.split))
 
 
 def _broadcast_payload(blocks, by_block) -> list[tuple]:
@@ -491,27 +579,62 @@ def _broadcast_payload(blocks, by_block) -> list[tuple]:
     ]
 
 
-def _run_splits_pooled(blocks, config, by_block, announce, record, jobs) -> None:
-    """Split-level pool path: broadcast blocks once, submit task keys."""
+def _clear_worker_state() -> None:
+    """Reset the worker registry (used after in-process supervision)."""
+    global _WORKER_CONFIG
+    _WORKER_BLOCKS.clear()
+    _WORKER_RUNS.clear()
+    _WORKER_WORKSPACES.clear()
+    _WORKER_CONFIG = None
+
+
+@contextmanager
+def _supervised(jobs, blocks, by_block, config, sup_config, manifest):
+    """A :class:`Supervisor` over the pending blocks' broadcast payload.
+
+    At ``jobs == 1`` the supervisor runs units inline in the parent, so
+    the block registry is installed here (and cleared afterwards) the
+    way the pool initializer installs it in workers — one lazily built
+    ``ErrorTypeRun`` per block, exactly the sequential path's
+    one-run-per-block structure.
+    """
     payload = _broadcast_payload(blocks, by_block)
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_register_blocks,
-        initargs=(payload, config),
-    ) as pool:
-        futures = []
+    if jobs == 1:
+        _register_blocks(payload, config)
+    try:
+        with Supervisor(jobs, payload, config, sup_config, manifest) as sup:
+            yield sup
+    finally:
+        if jobs == 1:
+            _clear_worker_state()
+
+
+def _run_splits_supervised(
+    blocks, config, by_block, announce, record, jobs, sup_config, manifest,
+    quarantine_split,
+) -> None:
+    """Split-level path: one supervised unit per pending split.
+
+    With ``jobs > 1`` blocks are broadcast once through the pool
+    initializer and only task keys cross the process boundary; with
+    ``jobs == 1`` the same units run inline.  Either way the supervisor
+    owns retries/timeouts/resurrection, and a split that exhausts its
+    retries is quarantined or aborts the study via
+    ``quarantine_split``.  Results are checkpointed in completion order
+    so an interrupt loses at most the units in flight.
+    """
+    with _supervised(jobs, blocks, by_block, config, sup_config, manifest) as sup:
         for block in blocks:
             if not announce(block):
                 continue
             block_tasks = by_block[(block.dataset.name, block.error_type)]
-            futures.extend(
-                pool.submit(_execute_registered, task.key)
-                for task in block_tasks
-            )
-        # checkpoint in completion order so an interrupt loses at
-        # most the tasks still in flight
-        for future in as_completed(futures):
-            record(*future.result())
+            for task in sorted(block_tasks, key=lambda t: t.split):
+                sup.submit("split", task.key, _execute_registered, (task.key,))
+        for status, unit, outcome in sup.drain():
+            if status == "ok":
+                record(*outcome)
+            else:
+                quarantine_split(unit.key, outcome)
 
 
 def _run_sub_split(
@@ -524,21 +647,37 @@ def _run_sub_split(
     cells_done,
     jobs,
     level,
+    sup_config,
+    manifest,
+    quarantine_split,
 ) -> None:
     """Two-level path: decompose splits into (method, model) cell units.
 
     Cells — and at ``level="fold"`` the CV folds inside each cell's
-    search — are scheduled across the process pool with work-stealing
-    (``as_completed`` drains whichever worker finishes first), then each
-    split is reassembled by :func:`~repro.core.runner.merge_cell_results`,
+    search — are scheduled across the supervised pool with work-stealing
+    (the drain yields whichever worker finishes first), then each split
+    is reassembled by :func:`~repro.core.runner.merge_cell_results`,
     which sorts by (method, model) so completion order never reaches the
     output; the split-level merge then sorts by split exactly as before.
+    At ``jobs == 1`` the same units run inline through the supervisor
+    (and the fold wave is skipped — in process there is nothing to fan
+    out, and the cell path produces the identical bytes).
 
     Fold scheduling runs in two waves: fold sub-units score every search
     candidate on one fold each, the parent reduces them to each cell's
     ``(best_params, val_score)`` with the search's own mean-and-argmax
     (:func:`~repro.core.runner.resolve_fold_scores`), and the second
     wave's cell units fit the winners directly instead of re-running CV.
+
+    Failure degradation runs the other way up the hierarchy: a fold
+    sub-unit that exhausts its retries silently degrades its (split,
+    role, model) search — the fold wave is an optimization, and a cell
+    fitted without a resolved winner re-validates inline, bit-identical
+    by the determinism contract.  A cell that exhausts its retries
+    degrades its whole split to one split-level unit (its queued sibling
+    cells are discarded; completed siblings stay banked in the ledger).
+    Only a split-level unit that still fails reaches
+    ``quarantine_split``.
     """
     method_names: dict[tuple[str, str], list[str]] = {
         (block.dataset.name, block.error_type): block_method_names(
@@ -597,94 +736,70 @@ def _run_sub_split(
         if key not in pending_cells and key not in split_level:
             finish_split(key)
 
-    if jobs == 1:
-        _run_cells_in_process(
-            blocks, config, by_block, pending_cells, split_level,
-            collected, record, record_cell, finish_split,
-        )
-        return
-
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_register_blocks,
-        initargs=(_broadcast_payload(blocks, by_block), config),
-    ) as pool:
+    with _supervised(jobs, blocks, by_block, config, sup_config, manifest) as sup:
         tuned: dict[tuple[TaskKey, int, str], tuple[dict, float]] = {}
-        if level == "fold":
+        if level == "fold" and jobs > 1:
             tuned = _resolve_tuning_wave(
-                pool, config, method_names, pending_cells
+                sup, config, method_names, pending_cells, manifest
             )
 
-        futures = [
-            pool.submit(_execute_registered, key) for key in split_level
-        ]
+        for key in split_level:
+            sup.submit("split", key, _execute_registered, (key,))
         cell_total: dict[TaskKey, int] = {}
         for key, specs in pending_cells.items():
             cell_total[key] = len(collected[key]) + len(specs)
-            futures.extend(
-                pool.submit(
+            for index, model in specs:
+                sup.submit(
+                    "cell",
+                    key + (index, model),
                     _execute_cell,
-                    key,
-                    index,
-                    model,
-                    tuned.get((key, DIRTY_ROLE, model)),
-                    tuned.get((key, index, model)),
+                    (
+                        key,
+                        index,
+                        model,
+                        tuned.get((key, DIRTY_ROLE, model)),
+                        tuned.get((key, index, model)),
+                    ),
                 )
-                for index, model in specs
-            )
+
         # record in completion order (work-stealing drain); reduce each
         # split the moment its last cell lands
-        for future in as_completed(futures):
-            result = future.result()
-            if isinstance(result[1], CellResult):
-                key, cell = result
-                record_cell(key, cell)
-                collected[key][(cell.method_index, cell.model)] = cell
-                if len(collected[key]) == cell_total[key]:
-                    finish_split(key)
+        degraded: set[TaskKey] = set()
+        for status, unit, outcome in sup.drain():
+            if status == "ok":
+                if unit.kind == "cell":
+                    key, cell = outcome
+                    record_cell(key, cell)
+                    collected[key][(cell.method_index, cell.model)] = cell
+                    if (
+                        key not in degraded
+                        and len(collected[key]) == cell_total[key]
+                    ):
+                        finish_split(key)
+                else:
+                    record(*outcome)
+            elif unit.kind == "cell":
+                task_key = unit.key[:3]
+                if task_key in degraded:
+                    continue  # sibling of an already-degraded split
+                if sup_config.degrade:
+                    degraded.add(task_key)
+                    manifest.count("degraded_cells")
+                    sup.discard(
+                        lambda u, tk=task_key: u.kind == "cell"
+                        and u.key[:3] == tk
+                    )
+                    sup.submit(
+                        "split", task_key, _execute_registered, (task_key,)
+                    )
+                else:
+                    quarantine_split(task_key, outcome)
             else:
-                record(*result)
-
-
-def _run_cells_in_process(
-    blocks, config, by_block, pending_cells, split_level,
-    collected, record, record_cell, finish_split,
-) -> None:
-    """Sub-split granularity without a pool: one workspace per split.
-
-    Runs cells method-major through the same
-    :class:`~repro.core.runner.SplitWorkspace` + reducer machinery the
-    pool uses — so cell-level checkpoint entries and the reduction path
-    are exercised (and crash-injectable) at ``n_jobs=1`` — but skips the
-    fold wave: in process there is nothing to fan out, and the cell path
-    produces the identical bytes.
-    """
-    for block in blocks:
-        block_tasks = by_block.get((block.dataset.name, block.error_type))
-        if not block_tasks:
-            continue
-        run = ErrorTypeRun(
-            block.dataset,
-            block.error_type,
-            config,
-            methods=list(block.methods) if block.methods is not None else None,
-        )
-        for task in sorted(block_tasks, key=lambda t: t.split):
-            if task.key in split_level:
-                record(task.key, run.run_split(task.split))
-                continue
-            specs = pending_cells.get(task.key)
-            if specs:
-                workspace = SplitWorkspace(run, task.split)
-                for index, model in specs:
-                    cell = workspace.cell(index, model)
-                    record_cell(task.key, cell)
-                    collected[task.key][(index, model)] = cell
-                finish_split(task.key)
+                quarantine_split(unit.key[:3], outcome)
 
 
 def _resolve_tuning_wave(
-    pool, config, method_names, pending_cells
+    sup, config, method_names, pending_cells, manifest
 ) -> dict[tuple[TaskKey, int, str], tuple[dict, float]]:
     """Fold wave: score every needed (split, role, model) search fold-wise.
 
@@ -695,6 +810,11 @@ def _resolve_tuning_wave(
     reduction.  ``config.cv_folds`` slots are over-submitted because a
     row-dropping repair can shrink a table below the requested fold
     count; workers answer out-of-plan slots with ``None``.
+
+    A fold unit that exhausts its retries degrades its (split, role,
+    model) search: no winner is resolved, the consuming cells re-run
+    their own CV inline, and the output stays bit-identical — the wave
+    only ever redistributes work.
     """
     needed: set[tuple[TaskKey, int, str]] = set()
     for key, specs in pending_cells.items():
@@ -703,18 +823,30 @@ def _resolve_tuning_wave(
             needed.add((key, index, model))
 
     slots = max(1, config.cv_folds)
-    futures = [
-        pool.submit(_execute_fold, key, role, model, slot)
-        for key, role, model in sorted(needed)
-        for slot in range(slots)
-    ]
+    for key, role, model in sorted(needed):
+        for slot in range(slots):
+            sup.submit(
+                "fold",
+                key + (role, model, slot),
+                _execute_fold,
+                (key, role, model, slot),
+            )
     parts: dict[tuple[TaskKey, int, str], dict[int, tuple | None]] = {}
-    for future in as_completed(futures):
-        key, role, model, slot, payload = future.result()
-        parts.setdefault((key, role, model), {})[slot] = payload
+    degraded: set[tuple[TaskKey, int, str]] = set()
+    for status, unit, outcome in sup.drain():
+        if status == "ok":
+            key, role, model, slot, payload = outcome
+            parts.setdefault((key, role, model), {})[slot] = payload
+        else:
+            triple = (unit.key[:3], unit.key[3], unit.key[4])
+            if triple not in degraded:
+                degraded.add(triple)
+                manifest.count("degraded_searches")
 
     tuned: dict[tuple[TaskKey, int, str], tuple[dict, float]] = {}
     for (key, role, model), slot_parts in parts.items():
+        if (key, role, model) in degraded:
+            continue
         role_name = (
             "dirty"
             if role == DIRTY_ROLE

@@ -11,30 +11,39 @@ cannot checkpoint is a study you will re-run.  Two formats live here:
   a header line followed by one line per completed
   (dataset, error type, split) task, interleaved (at sub-split
   granularity) with one line per completed (method, model) cell
-  sub-unit.  Appends are crash-safe by construction (a torn final line
-  is dropped on load), rewrites never happen, and ledgers written by
-  separate processes merge by key.  Floats round-trip exactly through
-  JSON, so a resumed study is bit-identical to an uninterrupted one.
+  sub-unit, and — since format 4 — one ``failed`` line per unit the
+  supervisor quarantined after exhausting its retries.  Appends are
+  crash-safe by construction (a torn final line is dropped on load),
+  rewrites never happen, and ledgers written by separate processes
+  merge by key.  Floats round-trip exactly through JSON, so a resumed
+  study is bit-identical to an uninterrupted one.
 
-``FORMAT_VERSION`` is 3 since cell sub-unit entries landed (the
-two-level executor); version-1/2 results files and version-2 ledgers
-(which carry the identical payloads minus cell entries) still load.
+``FORMAT_VERSION`` is 4 since quarantine ``failed`` entries landed (the
+fault-tolerant supervisor); version-1/2 results files and version-2/3
+ledgers (which carry the identical payloads minus failed entries) still
+load.  ``failed`` entries are a *manifest*, not a skip-list: a resume
+re-attempts quarantined units (the fault may have been environmental),
+and :func:`merge_checkpoints` lets any recorded success win over a
+recorded failure for the same key.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 
 from .runner import CellResult, RawExperiment, SplitResult
 from .schema import MetricPair, Scenario
 from .study import CleanMLStudy
+from .supervisor import UnitFailure
+from . import faults
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 #: results format versions this module can read
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 #: the "kind" tag distinguishing checkpoint ledgers from results files
 CHECKPOINT_KIND = "cleanml-checkpoint"
@@ -78,15 +87,34 @@ def experiment_from_dict(data: dict) -> RawExperiment:
 def save_experiments(
     experiments: list[RawExperiment], path: str | Path
 ) -> None:
-    """Write raw experiments to a JSON file (creates parent dirs)."""
+    """Write raw experiments to a JSON file (creates parent dirs).
+
+    The write is atomic: the payload lands in a temp file in the same
+    directory, is fsynced, and replaces the destination via
+    ``os.replace`` — a crash mid-dump can no longer leave a truncated
+    document where the previous study's results used to be.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "format_version": FORMAT_VERSION,
         "experiments": [experiment_to_dict(e) for e in experiments],
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_experiments(path: str | Path) -> list[RawExperiment]:
@@ -250,13 +278,32 @@ def append_checkpoint(
     )
 
 
+def _entry_unit_key(entry: dict) -> tuple:
+    """The structural key an entry records (for chaos torn-write scheduling)."""
+    if "task" in entry:
+        return tuple(entry["task"])
+    if "cell" in entry:
+        return tuple(entry["cell"])
+    if "failed" in entry:
+        return ("failed", *entry["failed"]["key"])
+    return ()
+
+
 def _append_entry(
     path: str | Path, entry: dict, fingerprint: str | None
 ) -> None:
     """The shared append protocol: heal a torn tail, header-on-create,
-    one JSON line — identical for split and cell entries by construction."""
+    one JSON line — identical for split, cell, and failed entries by
+    construction."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    fragment = faults.torn_write_fragment(_entry_unit_key(entry))
+    if fragment is not None:
+        # chaos harness: simulate a crash mid-append by a previous
+        # process — the unterminated fragment must be dropped by the
+        # heal below for this append to land cleanly
+        with open(path, "a") as handle:
+            handle.write(fragment)
     _heal_torn_tail(path)
     line = json.dumps(entry)
     with open(path, "a") as handle:
@@ -289,24 +336,77 @@ def append_cell_checkpoint(
     )
 
 
+def failure_to_dict(failure: UnitFailure) -> dict:
+    """JSON-ready dictionary for one quarantined unit (format 4)."""
+    return {
+        "kind": failure.kind,
+        "key": list(failure.key),
+        "attempts": failure.attempts,
+        "error": failure.error,
+    }
+
+
+def failure_from_dict(data: dict) -> UnitFailure:
+    """Inverse of :func:`failure_to_dict`."""
+    return UnitFailure(
+        kind=str(data["kind"]),
+        key=tuple(data["key"]),
+        attempts=int(data["attempts"]),
+        error=str(data["error"]),
+    )
+
+
+def append_failed_checkpoint(
+    path: str | Path, failure: UnitFailure, fingerprint: str | None = None
+) -> None:
+    """Record one quarantined unit, creating the ledger if needed.
+
+    ``failed`` entries (format 4) are the ledger half of the failure
+    manifest: they document that the study *completed without* this
+    unit, they are not a skip-list — a resume re-attempts the unit, and
+    a later recorded success supersedes the failure in
+    :func:`merge_checkpoints`.
+    """
+    _append_entry(path, {"failed": failure_to_dict(failure)}, fingerprint)
+
+
 def load_checkpoint(
     path: str | Path, fingerprint: str | None = None
 ) -> dict[tuple, SplitResult]:
     """Completed split tasks from a checkpoint ledger, keyed by task key.
 
-    The split-level view of :func:`load_checkpoint_units` — cell
-    sub-unit entries are validated but not returned.
+    The split-level view of :func:`load_checkpoint_state` — cell
+    sub-unit and failed entries are validated but not returned.
     """
-    return load_checkpoint_units(path, fingerprint=fingerprint)[0]
+    return load_checkpoint_state(path, fingerprint=fingerprint)[0]
 
 
 def load_checkpoint_units(
     path: str | Path, fingerprint: str | None = None
 ) -> tuple[dict[tuple, SplitResult], dict[tuple, CellResult]]:
-    """Completed (splits, cells) from a checkpoint ledger.
+    """Completed ``(splits, cells)`` from a checkpoint ledger.
+
+    The two-tuple view of :func:`load_checkpoint_state`, kept for
+    callers that predate format 4's failure records.
+    """
+    splits, cells, _ = load_checkpoint_state(path, fingerprint=fingerprint)
+    return splits, cells
+
+
+def load_checkpoint_state(
+    path: str | Path, fingerprint: str | None = None
+) -> tuple[
+    dict[tuple, SplitResult],
+    dict[tuple, CellResult],
+    dict[tuple, UnitFailure],
+]:
+    """Completed ``(splits, cells, failures)`` from a checkpoint ledger.
 
     Splits are keyed ``(dataset, error type, split)``, cell sub-units
-    ``(dataset, error type, split, method index, model)``.
+    ``(dataset, error type, split, method index, model)``, and failures
+    by the failed unit's own structural key (whatever its granularity).
+    A unit that was quarantined in one run and completed in a later
+    resume appears in both mappings — the success is authoritative.
 
     A missing file is an empty checkpoint.  A torn *final* line — the
     signature of a crash mid-append, including a crash during the very
@@ -323,7 +423,7 @@ def load_checkpoint_units(
     """
     path = Path(path)
     if not path.exists():
-        return {}, {}
+        return {}, {}, {}
     text = path.read_text()
     # a final line without its newline is a torn append, not corruption
     torn_tail = bool(text) and not text.endswith("\n")
@@ -331,12 +431,12 @@ def load_checkpoint_units(
     if lines and lines[-1] == "":
         lines.pop()
     if not lines:
-        return {}, {}
+        return {}, {}, {}
     try:
         header = json.loads(lines[0])
     except json.JSONDecodeError as error:
         if len(lines) == 1 and torn_tail:  # crash mid-header: empty checkpoint
-            return {}, {}
+            return {}, {}, {}
         raise CheckpointError(f"{path}: corrupt checkpoint header") from error
     if header.get("kind") != CHECKPOINT_KIND:
         raise CheckpointError(f"{path}: not a checkpoint ledger: {header}")
@@ -355,6 +455,7 @@ def load_checkpoint_units(
             )
     done: dict[tuple, SplitResult] = {}
     cells: dict[tuple, CellResult] = {}
+    failed: dict[tuple, UnitFailure] = {}
     for number, line in enumerate(lines[1:], start=2):
         try:
             entry = json.loads(line)
@@ -365,6 +466,10 @@ def load_checkpoint_units(
                     (name, error_type, int(split), int(method_index), model)
                 ] = cell
                 continue
+            if "failed" in entry:
+                failure = failure_from_dict(entry["failed"])
+                failed[failure.key] = failure  # later retries supersede
+                continue
             name, error_type, split = entry["task"]
             result = split_result_from_dict(entry["result"])
         except (json.JSONDecodeError, KeyError, ValueError, TypeError) as error:
@@ -374,7 +479,7 @@ def load_checkpoint_units(
                 f"{path}: corrupt checkpoint entry at line {number}"
             ) from error
         done[(name, error_type, int(split))] = result
-    return done, cells
+    return done, cells, failed
 
 
 def checkpoint_fingerprint(path: str | Path) -> str | None:
@@ -398,7 +503,7 @@ def checkpoint_fingerprint(path: str | Path) -> str | None:
 
 def merge_checkpoints(
     paths: list[str | Path],
-) -> dict[tuple, SplitResult | CellResult]:
+) -> dict[tuple, SplitResult | CellResult | UnitFailure]:
     """Union of several ledgers (e.g. one per process of a sharded run).
 
     Ledgers stamped with different study fingerprints refuse to merge —
@@ -412,6 +517,14 @@ def merge_checkpoints(
     mapping under their 5-tuple ``(dataset, error type, split, method
     index, model)`` keys (a split task key is always a 3-tuple, so the
     two kinds cannot collide), with the same agree-or-raise rule.
+
+    Format-4 ``failed`` entries round-trip as advisory records: a key
+    whose only recorded state is a quarantine maps to its
+    :class:`~repro.core.supervisor.UnitFailure`; any recorded *success*
+    for the same key wins silently (one shard's quarantined unit may
+    have completed on another shard — that is reconciliation working,
+    not a conflict), and between failures the highest attempt count is
+    kept.
     """
     fingerprints = {
         path: fingerprint
@@ -424,8 +537,9 @@ def merge_checkpoints(
             f"definitions: {fingerprints}"
         )
     merged: dict[tuple, SplitResult | CellResult] = {}
+    failures: dict[tuple, UnitFailure] = {}
     for path in paths:
-        done, cells = load_checkpoint_units(path)
+        done, cells, failed = load_checkpoint_state(path)
         for entries, label in ((done, "task"), (cells, "cell")):
             for key, result in entries.items():
                 if key in merged and merged[key] != result:
@@ -433,6 +547,13 @@ def merge_checkpoints(
                         f"conflicting checkpoint entries for {label} {key}"
                     )
                 merged[key] = result
+        for key, failure in failed.items():
+            kept = failures.get(key)
+            if kept is None or failure.attempts > kept.attempts:
+                failures[key] = failure
+    for key, failure in failures.items():
+        if key not in merged:  # any success supersedes a failure record
+            merged[key] = failure
     return merged
 
 

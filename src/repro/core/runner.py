@@ -26,6 +26,16 @@ the task body of the parallel executor (:mod:`repro.core.executor`),
 and :func:`merge_split_results` reassembles per-split results into the
 exact sequential output regardless of completion order.
 
+The same purity carries the fault-tolerance contract
+(:mod:`repro.core.supervisor`): because a task body reads nothing but
+its structural key and the broadcast study definition, the supervisor
+may run it **any number of times** — retry after an exception, re-run
+after a pool kill or worker crash, re-execute a whole split after a
+cell degrades — and the surviving execution is indistinguishable from
+a first-try success.  Task bodies must stay free of hidden mutable
+state (module globals written during a run, cross-unit caches keyed by
+anything but structural identity) or retries would stop being safe.
+
 Split-execution kernel
 ----------------------
 Within one split the protocol's grid repeats a lot of identical work,

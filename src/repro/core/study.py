@@ -19,6 +19,7 @@ from .executor import StudyBlock, execute_study
 from .relations import CleanMLDatabase
 from .runner import RawExperiment, StudyConfig
 from .schema import ExperimentRow
+from .supervisor import FailureManifest, SupervisorConfig
 
 
 class CleanMLStudy:
@@ -36,6 +37,9 @@ class CleanMLStudy:
         self.config = config or StudyConfig()
         self._queue: list[StudyBlock] = []
         self.raw_experiments: list[RawExperiment] = []
+        #: filled by :meth:`run` — quarantined units, dropped blocks, and
+        #: recovery counters of the most recent execution
+        self.failure_manifest: FailureManifest = FailureManifest()
 
     # -- registration ---------------------------------------------------------
 
@@ -73,6 +77,7 @@ class CleanMLStudy:
         n_jobs: int | None = None,
         checkpoint=None,
         granularity: str | None = None,
+        supervisor: SupervisorConfig | None = None,
     ) -> CleanMLDatabase:
         """Execute all queued blocks and return the populated database.
 
@@ -97,7 +102,16 @@ class CleanMLStudy:
         (dataset, error type, split) tasks recorded there are skipped,
         and every task this run completes is appended, so interrupted
         studies resume where they stopped.
+
+        ``supervisor`` configures fault tolerance
+        (:class:`~repro.core.supervisor.SupervisorConfig`): per-unit
+        timeouts, deterministic retries, granularity degradation, and —
+        with ``quarantine=True`` — completion with a failure manifest
+        (:attr:`failure_manifest`) instead of an aborted study when a
+        unit keeps failing.  Recovery never changes results: a run that
+        retried its way to completion is byte-identical to a clean one.
         """
+        self.failure_manifest = FailureManifest()
         self.raw_experiments.extend(
             execute_study(
                 self._queue,
@@ -106,6 +120,8 @@ class CleanMLStudy:
                 checkpoint=checkpoint,
                 progress=progress,
                 granularity=granularity,
+                supervisor=supervisor,
+                manifest=self.failure_manifest,
             )
         )
         self._queue.clear()

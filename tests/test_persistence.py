@@ -10,9 +10,13 @@ from repro.core.persistence import (
     FORMAT_VERSION,
     CheckpointError,
     append_checkpoint,
+    append_failed_checkpoint,
     experiment_from_dict,
     experiment_to_dict,
+    failure_from_dict,
+    failure_to_dict,
     load_checkpoint,
+    load_checkpoint_state,
     load_experiments,
     load_study,
     merge_checkpoints,
@@ -24,6 +28,7 @@ from repro.core.persistence import (
 )
 from repro.core.runner import RawExperiment, SplitResult
 from repro.core.schema import MetricPair
+from repro.core.supervisor import UnitFailure
 
 
 def make_experiment(level="R1", dataset="EEG", model="knn", scenario=Scenario.BD):
@@ -140,8 +145,18 @@ class TestCheckpointFormat:
         ledger = tmp_path / "ledger.jsonl"
         append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
         header = json.loads(ledger.read_text().splitlines()[0])
-        # 3 since cell sub-unit entries landed (two-level executor)
-        assert header["format_version"] == FORMAT_VERSION == 3
+        # 4 since quarantine "failed" entries landed (supervisor)
+        assert header["format_version"] == FORMAT_VERSION == 4
+
+    def test_format3_ledger_still_loads(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        lines = ledger.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format_version"] = 3  # a pre-supervisor ledger
+        lines[0] = json.dumps(header)
+        ledger.write_text("\n".join(lines) + "\n")
+        assert set(load_checkpoint(ledger)) == {("EEG", "outliers", 0)}
 
     def test_unsupported_version_rejected(self, tmp_path):
         ledger = tmp_path / "ledger.jsonl"
@@ -291,6 +306,95 @@ class TestCheckpointMerge:
             fingerprint=fingerprint,
         )
         assert len(merge_checkpoints([a, b])) == 2
+
+
+def make_failure(key=("EEG", "outliers", 0), kind="split", attempts=3):
+    return UnitFailure(
+        kind=kind, key=key, attempts=attempts, error="ValueError: boom"
+    )
+
+
+class TestFailureRecords:
+    """Format 4: quarantined units recorded as ``failed`` ledger entries."""
+
+    def test_dict_round_trip(self):
+        failure = make_failure(
+            key=("EEG", "outliers", 0, 2, "knn"), kind="cell"
+        )
+        assert failure_from_dict(failure_to_dict(failure)) == failure
+
+    def test_failed_entry_round_trips_through_ledger(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_checkpoint(ledger, ("EEG", "outliers", 0), make_split_result(0))
+        append_failed_checkpoint(ledger, make_failure(("EEG", "outliers", 1)))
+        done, cells, failed = load_checkpoint_state(ledger)
+        assert set(done) == {("EEG", "outliers", 0)} and not cells
+        assert failed == {("EEG", "outliers", 1): make_failure(("EEG", "outliers", 1))}
+
+    def test_failed_entries_are_not_completed_tasks(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_failed_checkpoint(ledger, make_failure())
+        # the split-level view skips them: a resume must re-attempt
+        assert load_checkpoint(ledger) == {}
+
+    def test_later_failure_supersedes_earlier(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_failed_checkpoint(ledger, make_failure(attempts=1))
+        append_failed_checkpoint(ledger, make_failure(attempts=4))
+        _, _, failed = load_checkpoint_state(ledger)
+        assert failed[("EEG", "outliers", 0)].attempts == 4
+
+    def test_merge_success_wins_over_failure(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_failed_checkpoint(a, make_failure(("EEG", "outliers", 0)))
+        append_checkpoint(b, ("EEG", "outliers", 0), make_split_result(0))
+        merged = merge_checkpoints([a, b])
+        assert isinstance(merged[("EEG", "outliers", 0)], SplitResult)
+
+    def test_merge_keeps_failure_only_keys(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_checkpoint(a, ("EEG", "outliers", 0), make_split_result(0))
+        append_failed_checkpoint(b, make_failure(("EEG", "outliers", 1)))
+        merged = merge_checkpoints([a, b])
+        assert isinstance(merged[("EEG", "outliers", 1)], UnitFailure)
+        assert len(merged) == 2
+
+    def test_merge_keeps_highest_attempt_count(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_failed_checkpoint(a, make_failure(attempts=5))
+        append_failed_checkpoint(b, make_failure(attempts=2))
+        merged = merge_checkpoints([a, b])
+        assert merged[("EEG", "outliers", 0)].attempts == 5
+
+
+class TestAtomicSave:
+    """``save_experiments`` must never leave a torn results file."""
+
+    def test_failed_dump_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "study.json"
+        original = [make_experiment()]
+        save_experiments(original, path)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(json, "dump", explode)
+        with pytest.raises(RuntimeError):
+            save_experiments([make_experiment(model="xgboost")], path)
+        monkeypatch.undo()
+        assert load_experiments(path) == original
+
+    def test_no_temp_files_left_behind(self, tmp_path, monkeypatch):
+        path = tmp_path / "study.json"
+        save_experiments([make_experiment()], path)
+        monkeypatch.setattr(
+            json, "dump", lambda *a, **k: (_ for _ in ()).throw(OSError())
+        )
+        with pytest.raises(OSError):
+            save_experiments([make_experiment()], path)
+        monkeypatch.undo()
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "study.json"]
+        assert leftovers == []
 
 
 class TestMerge:

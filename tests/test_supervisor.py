@@ -1,0 +1,307 @@
+"""Tests for the fault-tolerant execution supervisor (ISSUE 7).
+
+The crash matrix drives every recovery path — injected exceptions,
+worker crashes with pool resurrection, hangs with deadline kills, torn
+ledger appends, granularity degradation, and quarantine — through a
+tiny but real study, and pins the contract that matters: a run that
+retried, resurrected, or degraded its way to completion is
+**byte-identical** to a fault-free run.  Faults come from the
+deterministic chaos harness in :mod:`repro.core.faults`, so every
+arm of the matrix is reproducible.
+"""
+
+import json
+
+import pytest
+
+from repro.cleaning import OUTLIERS, OutlierCleaning
+from repro.core import (
+    CleanMLStudy,
+    FaultPlan,
+    StudyConfig,
+    StudyExecutionError,
+    SupervisorConfig,
+    load_checkpoint_state,
+    merge_checkpoints,
+    save_experiments,
+)
+from repro.core.runner import SplitResult
+from repro.datasets import load_dataset
+
+FAST = StudyConfig(
+    n_splits=2,
+    cv_folds=2,
+    models=("logistic_regression", "naive_bayes"),
+    seed=7,
+)
+
+#: halved grid (one cleaning method) for the expensive arms
+#: (timeouts, resurrection): 2 splits x 1 method x 2 models = 4 cells
+SLIM_METHODS = (("SD", "mean"),)
+
+#: chaos plan used by the crash matrix: crashes, exceptions, and torn
+#: ledger appends all active at once; attempt >= 1 runs clean, so
+#: max_retries >= 1 guarantees completion
+CHAOS = FaultPlan(
+    seed=11, crash_rate=0.2, exception_rate=0.3, torn_write_rate=0.5
+)
+
+
+def make_study(methods=(("SD", "mean"), ("IQR", "mean"))):
+    study = CleanMLStudy(FAST)
+    study.add(
+        load_dataset("Sensor", seed=0, n_rows=100),
+        OUTLIERS,
+        methods=[OutlierCleaning(d, r) for d, r in methods],
+    )
+    return study
+
+
+def run_study(out_path, methods=(("SD", "mean"), ("IQR", "mean")), **kwargs):
+    """Run the tiny study and return (persisted bytes, failure manifest)."""
+    study = make_study(methods)
+    study.run(**kwargs)
+    save_experiments(study.raw_experiments, out_path)
+    return out_path.read_bytes(), study.failure_manifest
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Fault-free persisted bytes for both study grids."""
+    root = tmp_path_factory.mktemp("reference")
+    fast, _ = run_study(root / "fast.json")
+    slim, _ = run_study(root / "slim.json", methods=SLIM_METHODS)
+    return {"fast": fast, "slim": slim}
+
+
+class TestChaosMatrix:
+    """Every granularity x job count completes bit-identically under chaos."""
+
+    @pytest.mark.parametrize("granularity", ["split", "cell", "fold"])
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_chaos_run_is_byte_identical(
+        self, tmp_path, reference, granularity, n_jobs
+    ):
+        ledger = tmp_path / "ledger.jsonl"
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            n_jobs=n_jobs,
+            granularity=granularity,
+            checkpoint=ledger,
+            supervisor=SupervisorConfig(
+                max_retries=5, backoff_base=0.001, fault_plan=CHAOS
+            ),
+        )
+        assert produced == reference["fast"]
+        # nothing was quarantined: the study recovered from every fault
+        assert not manifest.failures and not manifest.dropped_blocks
+        # the ledger survived the torn appends and holds no failures
+        done, _, failed = load_checkpoint_state(ledger)
+        assert len(done) == FAST.n_splits and not failed
+
+    def test_chaos_schedule_is_deterministic(self, tmp_path):
+        """Two identical chaos runs retry the same units the same way."""
+        supervisor = SupervisorConfig(
+            max_retries=5, backoff_base=0.001, fault_plan=CHAOS
+        )
+        first, manifest_a = run_study(
+            tmp_path / "a.json", granularity="cell", supervisor=supervisor
+        )
+        second, manifest_b = run_study(
+            tmp_path / "b.json", granularity="cell", supervisor=supervisor
+        )
+        assert first == second
+        assert manifest_a.stats == manifest_b.stats
+        assert manifest_a.stats.get("retries", 0) > 0
+
+
+class TestRetries:
+    def test_every_unit_fails_n_times_then_succeeds(self, tmp_path, reference):
+        """exception_rate=1.0 with faulty_attempts=2: the retry counter is
+        exactly (units x 2) and results are untouched."""
+        plan = FaultPlan(seed=1, exception_rate=1.0, faulty_attempts=2)
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            granularity="cell",
+            supervisor=SupervisorConfig(
+                max_retries=3, backoff_base=0.0, fault_plan=plan
+            ),
+        )
+        assert produced == reference["fast"]
+        # 2 splits x 2 methods x 2 models = 8 cells, 2 failures each
+        assert manifest.stats["retries"] == 16
+
+    def test_retries_exhausted_aborts_by_default(self, tmp_path):
+        poison = (("split", "Sensor", "outliers", 0),)
+        study = make_study()
+        with pytest.raises(StudyExecutionError) as excinfo:
+            study.run(
+                supervisor=SupervisorConfig(
+                    max_retries=1,
+                    backoff_base=0.0,
+                    degrade=False,
+                    fault_plan=FaultPlan(poison=poison),
+                )
+            )
+        failure = excinfo.value.failure
+        assert failure.kind == "split"
+        assert failure.key == ("Sensor", "outliers", 0)
+        assert failure.attempts == 2  # initial attempt + 1 retry
+
+
+class TestPoolRecovery:
+    """Worker crashes (BrokenProcessPool) and hangs (deadline kills)."""
+
+    def test_crashed_workers_resurrect_the_pool(self, tmp_path, reference):
+        plan = FaultPlan(seed=3, crash_rate=1.0)  # every unit dies once
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            methods=SLIM_METHODS,
+            n_jobs=2,
+            granularity="cell",
+            supervisor=SupervisorConfig(
+                max_retries=2, backoff_base=0.001, fault_plan=plan
+            ),
+        )
+        assert produced == reference["slim"]
+        assert manifest.stats["resurrections"] >= 1
+        assert manifest.stats["retries"] >= 4  # each of the 4 cells crashed
+
+    def test_hung_units_hit_the_deadline_and_retry(self, tmp_path, reference):
+        plan = FaultPlan(seed=5, hang_rate=1.0, hang_seconds=60.0)
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            methods=SLIM_METHODS,
+            n_jobs=2,
+            granularity="cell",
+            supervisor=SupervisorConfig(
+                timeout=2.0, max_retries=2, backoff_base=0.001, fault_plan=plan
+            ),
+        )
+        assert produced == reference["slim"]
+        assert manifest.stats["timeouts"] >= 4  # every cell hung once
+
+
+class TestDegradation:
+    """The granularity fallback chain: fold -> cell -> split."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_poisoned_cell_degrades_to_split(self, tmp_path, reference, n_jobs):
+        poison = (("cell", "Sensor", "outliers", 0, 0, "logistic_regression"),)
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            n_jobs=n_jobs,
+            granularity="cell",
+            supervisor=SupervisorConfig(
+                max_retries=1, backoff_base=0.0,
+                fault_plan=FaultPlan(poison=poison),
+            ),
+        )
+        assert produced == reference["fast"]
+        assert manifest.stats["degraded_cells"] == 1
+        assert not manifest.failures  # the split-level re-run succeeded
+
+    def test_poisoned_fold_degrades_to_cell(self, tmp_path, reference):
+        # the fold wave only exists at granularity="fold" with a pool;
+        # poisoning one search slot (role -1 = the dirty side) forces its
+        # (split, role, model) triple back onto the cell's inline
+        # validation path
+        poison = (("fold", "Sensor", "outliers", 0, -1,
+                   "logistic_regression", 0),)
+        produced, manifest = run_study(
+            tmp_path / "out.json",
+            n_jobs=2,
+            granularity="fold",
+            supervisor=SupervisorConfig(
+                max_retries=1, backoff_base=0.0,
+                fault_plan=FaultPlan(poison=poison),
+            ),
+        )
+        assert produced == reference["fast"]
+        assert manifest.stats["degraded_searches"] >= 1
+        assert not manifest.failures
+
+
+class TestQuarantine:
+    POISON = (("split", "Sensor", "outliers", 1),)
+
+    def quarantine_config(self):
+        return SupervisorConfig(
+            max_retries=1, backoff_base=0.0, quarantine=True,
+            fault_plan=FaultPlan(poison=self.POISON),
+        )
+
+    def test_study_completes_with_failure_manifest(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        study = make_study()
+        study.run(checkpoint=ledger, supervisor=self.quarantine_config())
+        manifest = study.failure_manifest
+        # the poisoned split was quarantined and its block dropped
+        assert [f.key for f in manifest.failures] == [("Sensor", "outliers", 1)]
+        assert manifest.dropped_blocks == [("Sensor", "outliers")]
+        assert study.raw_experiments == []
+        assert "quarantined" in manifest.describe()
+        # the ledger carries the failure record alongside the good split
+        done, _, failed = load_checkpoint_state(ledger)
+        assert set(done) == {("Sensor", "outliers", 0)}
+        assert failed[("Sensor", "outliers", 1)].attempts == 2
+
+    def test_resume_without_fault_recovers_byte_identically(
+        self, tmp_path, reference
+    ):
+        ledger = tmp_path / "ledger.jsonl"
+        study = make_study()
+        study.run(checkpoint=ledger, supervisor=self.quarantine_config())
+        # the fault was environmental: resume with a clean supervisor
+        produced, manifest = run_study(
+            tmp_path / "out.json", checkpoint=ledger
+        )
+        assert produced == reference["fast"]
+        assert not manifest.failures
+        # merging the healed ledger resolves the key to its success
+        merged = merge_checkpoints([ledger])
+        assert isinstance(merged[("Sensor", "outliers", 1)], SplitResult)
+
+    def test_failure_carries_structural_key_and_cause(self, tmp_path):
+        study = make_study()
+        study.run(checkpoint=tmp_path / "l.jsonl",
+                  supervisor=self.quarantine_config())
+        failure = study.failure_manifest.failures[0]
+        assert failure.kind == "split"
+        assert "InjectedFault" in failure.error
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_prints_resume_hint(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        study = make_study()
+
+        def interrupt(dataset, error_type):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            study.run(progress=interrupt, checkpoint=ledger)
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert str(ledger) in captured.err
+
+
+class TestCLI:
+    def test_supervisor_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["run", "Sensor", "outliers", "--task-timeout", "30",
+             "--max-retries", "4", "--quarantine"]
+        )
+        assert args.task_timeout == 30.0
+        assert args.max_retries == 4
+        assert args.quarantine is True
+
+    def test_supervisor_flags_default_off(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "Sensor", "outliers"])
+        assert args.task_timeout is None
+        assert args.max_retries == 2
+        assert args.quarantine is False
