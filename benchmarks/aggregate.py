@@ -34,6 +34,7 @@ HEADLINE_KEYS = (
     "n_tasks",
     "recovery_overhead",
     "faults_recovered",
+    "rss_ratio",
 )
 
 

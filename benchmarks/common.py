@@ -65,3 +65,55 @@ def publish(name: str, text: str) -> str:
 def once(benchmark, fn):
     """Run a study exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def measure_peak_rss(fn):
+    """``(result, peak RSS bytes)`` of ``fn()`` run in a forked child.
+
+    The child runs ``fn``, reads its own ``getrusage`` high-water mark
+    and pickles ``(result, peak)`` back through a pipe, so the
+    measurement covers exactly one workload with no allocator reuse
+    from earlier phases.  Note the child inherits the parent's RSS at
+    fork time — compare arms against a no-op baseline fork, not
+    against zero.
+
+    Returns ``(None, None)`` on platforms without ``fork``/``resource``
+    (the refuse-and-annotate policy the speedup gates follow: report
+    nothing rather than noise).
+    """
+    import os
+    import pickle
+    import sys
+
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None, None
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX platform
+        return None, None
+
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        # child: run, measure, report, exit without cleanup handlers
+        status = 1
+        try:
+            os.close(read_fd)
+            result = fn()
+            peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # ru_maxrss is kilobytes on Linux, bytes on macOS
+            if sys.platform != "darwin":
+                peak *= 1024
+            payload = pickle.dumps((result, int(peak)))
+            with os.fdopen(write_fd, "wb") as pipe:
+                pipe.write(payload)
+            status = 0
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as pipe:
+        payload = pipe.read()
+    _, exit_status = os.waitpid(pid, 0)
+    if exit_status != 0 or not payload:
+        raise RuntimeError(f"measured child failed (status {exit_status})")
+    return pickle.loads(payload)

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .cleaning.base import ERROR_TYPES
 from .core import (
@@ -106,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "recorded in the checkpoint ledger and its "
                           "(dataset, error type) block dropped from the "
                           "results — instead of aborting")
+    run.add_argument("--mmap-dir", default=None, metavar="PATH",
+                     help="spill every dataset to a columnar store under "
+                          "PATH and run the study on memory-mapped tables "
+                          "(workers re-open the maps instead of receiving "
+                          "buffers; results are byte-identical)")
     return parser
 
 
@@ -177,6 +183,10 @@ def command_run(args) -> int:
             print(f"unknown dataset {args.dataset!r}", file=sys.stderr)
             return 2
         population = [load_dataset(args.dataset, seed=args.seed, **overrides)]
+
+    if args.mmap_dir:
+        root = Path(args.mmap_dir)
+        population = [d.spilled(root / d.name) for d in population]
 
     study = CleanMLStudy(config)
     for dataset in population:

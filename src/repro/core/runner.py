@@ -121,6 +121,7 @@ from ..ml.tree import DecisionTreeClassifier
 from ..ml.registry import MODEL_NAMES, make_model, search_space
 from ..table import FeatureEncoder, LabelEncoder, Table, train_test_split
 from ..table.column import table_views_disabled
+from ..table.store import table_streaming_disabled
 from ..table.ops import minority_class
 from .schema import MetricPair, Scenario
 
@@ -357,8 +358,10 @@ def kernel_disabled():
     encoder transforms and the CART split search through their
     per-row / per-feature reference implementations, and switches the
     table core back to eager copy-on-``take``
-    (:func:`~repro.table.column.table_views_disabled`).  Benchmarks time
-    this path as the "before" state
+    (:func:`~repro.table.column.table_views_disabled`) and the table
+    I/O stack back to eager resident loading
+    (:func:`~repro.table.store.table_streaming_disabled`).  Benchmarks
+    time this path as the "before" state
     and tests assert it produces bit-identical results, which is the
     kernel's correctness contract.
 
@@ -376,7 +379,7 @@ def kernel_disabled():
     DecisionTreeClassifier.vectorized_split = False
     _GradientTree.vectorized_split = False
     try:
-        with tuning_kernel_disabled(), table_views_disabled():
+        with tuning_kernel_disabled(), table_views_disabled(), table_streaming_disabled():
             yield
     finally:
         _KERNEL_ENABLED = previous_kernel

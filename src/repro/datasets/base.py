@@ -15,13 +15,14 @@ paper §IV-A step 4), and optional human cleaning rules (paper §VII-C).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
 from ..cleaning.base import ERROR_TYPES
 from ..cleaning.human import ROW_ID
-from ..table import ColumnSpec, ColumnType, Table
+from ..table import ColumnSpec, ColumnType, Table, spill_table
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,23 @@ class Dataset:
             imbalanced=self.imbalanced,
             description=self.description,
             rules=self.rules,
+        )
+
+    def spilled(self, directory: str | Path, chunk_rows: int | None = None) -> "Dataset":
+        """A file-backed variant: both tables spilled to columnar stores.
+
+        ``dirty`` and ``clean`` stream into ``directory/dirty`` and
+        ``directory/clean`` and come back memory-mapped (resident under
+        :func:`~repro.table.store.table_streaming_disabled`), so study
+        runs over the result keep the base buffers on disk — pool
+        workers re-open the maps instead of receiving buffer bytes.
+        Study output is byte-identical either way.
+        """
+        directory = Path(directory)
+        return replace(
+            self,
+            dirty=spill_table(self.dirty, directory / "dirty", chunk_rows),
+            clean=spill_table(self.clean, directory / "clean", chunk_rows),
         )
 
 

@@ -2,7 +2,16 @@
 
 from .column import Column, table_views_disabled, table_views_enabled
 from .encode import FeatureEncoder, LabelEncoder, encode_pair
-from .io import read_csv, write_csv
+from .io import read_csv, stream_csv, write_csv
+from .store import (
+    DEFAULT_CHUNK_ROWS,
+    ColumnarWriter,
+    load_columnar,
+    save_columnar,
+    spill_table,
+    table_streaming_disabled,
+    table_streaming_enabled,
+)
 from .ops import (
     class_distribution,
     filter_rows,
@@ -27,6 +36,8 @@ __all__ = [
     "Column",
     "ColumnSpec",
     "ColumnType",
+    "ColumnarWriter",
+    "DEFAULT_CHUNK_ROWS",
     "FeatureEncoder",
     "LabelEncoder",
     "Schema",
@@ -39,13 +50,19 @@ __all__ = [
     "is_imbalanced",
     "kfold_indices",
     "majority_class",
+    "load_columnar",
     "make_schema",
     "minority_class",
     "read_csv",
+    "save_columnar",
     "sort_by",
+    "spill_table",
     "split_indices",
     "stratified_split_indices",
+    "stream_csv",
     "summarize",
+    "table_streaming_disabled",
+    "table_streaming_enabled",
     "table_views_disabled",
     "table_views_enabled",
     "train_test_split",

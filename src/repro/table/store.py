@@ -1,0 +1,441 @@
+"""Binary columnar on-disk format with memory-mapped loading.
+
+A **store** is a directory holding one ``.npy`` file per column plus a
+``manifest.json`` that carries the schema, the row count, and (for
+categorical columns) the value dictionary:
+
+``manifest.json``::
+
+    {
+      "format": 1,
+      "n_rows": 1200000,
+      "label": "y", "keys": [...], "hidden": [...],
+      "columns": [
+        {"name": "age", "type": "numeric", "file": "col_00000.npy"},
+        {"name": "city", "type": "categorical", "file": "col_00001.npy",
+         "dictionary": ["tokyo", "lima"]}
+      ]
+    }
+
+Numeric columns are little-endian ``float64`` (``NaN`` = missing) and
+load back with ``np.load(..., mmap_mode="r")`` — the returned read-only
+memmap *is* the column's base buffer, so the zero-copy view machinery
+(``take``/``mask``/``iter_chunks``) composes index arrays over the map
+and a slice of an on-disk table never allocates a resident value copy.
+Categorical columns are little-endian ``int32`` codes (``-1`` =
+missing) into the manifest dictionary, decoded lazily through a shared
+:class:`~repro.table.column._LazyBuffer` cell on first touch.
+
+:class:`ColumnarWriter` appends row chunks incrementally — each column
+file starts with a placeholder npy header that :meth:`finalize`
+rewrites with the final shape — so a writer never holds more than one
+chunk resident.  That is what ``read_csv(..., spill=...)`` and the
+spill-aware injectors stream through.
+
+Following the repo-wide kernel pattern, :func:`table_streaming_disabled`
+switches the whole streaming stack back to the eager reference
+behavior: ``load_columnar`` materializes resident columns, ``read_csv``
+runs the historical row-major parser, ``write_csv`` the per-cell
+formatter, and the injectors ignore their ``spill`` arguments.  Both
+modes must produce byte-identical study output — pinned by
+``tests/test_out_of_core.py`` and gated by
+``benchmarks/bench_out_of_core.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from .column import Column, _LazyBuffer
+from .schema import ColumnSpec, ColumnType, Schema
+from .table import Table
+
+STORE_FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: default row-chunk size for every streaming entry point
+DEFAULT_CHUNK_ROWS = 65536
+
+#: categorical code reserved for missing values
+_MISSING_CODE = -1
+
+_NUMERIC_DESCR = "<f8"
+_CODES_DESCR = "<i4"
+
+#: process-wide switch for the streaming/memmap table stack; flip only
+#: through :func:`table_streaming_disabled`
+_STREAMING_ENABLED = True
+
+
+def table_streaming_enabled() -> bool:
+    """Whether tables load memory-mapped and I/O streams in chunks."""
+    return _STREAMING_ENABLED
+
+
+@contextmanager
+def table_streaming_disabled():
+    """Run on the eager (fully-resident) reference table I/O for the block.
+
+    ``load_columnar`` materializes every column into resident arrays,
+    ``read_csv``/``write_csv`` fall back to the historical row-major
+    implementations, and the injectors' ``spill`` parameters become
+    no-ops.  The streaming path must produce byte-identical persisted
+    study output — the same contract every other kernel switch in this
+    repo enforces.
+    """
+    global _STREAMING_ENABLED
+    previous = _STREAMING_ENABLED
+    _STREAMING_ENABLED = False
+    try:
+        yield
+    finally:
+        _STREAMING_ENABLED = previous
+
+
+# -- incremental .npy files -------------------------------------------------
+
+#: fixed total header size; rewritten in place once the row count is known
+_HEADER_SIZE = 128
+
+
+def _npy_header(descr: str, n_rows: int) -> bytes:
+    """A v1 ``.npy`` header padded to exactly ``_HEADER_SIZE`` bytes."""
+    body = "{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }" % (
+        descr,
+        n_rows,
+    )
+    # magic(6) + version(2) + HEADER_LEN(2) + body + padding + newline
+    pad = _HEADER_SIZE - 10 - 1 - len(body)
+    if pad < 0:  # pragma: no cover - row counts this large don't fit in RAM
+        raise ValueError("npy header does not fit the fixed 128-byte slot")
+    text = body + " " * pad + "\n"
+    return b"\x93NUMPY" + bytes([1, 0]) + struct.pack("<H", len(text)) + text.encode("latin1")
+
+
+class _NpyColumnFile:
+    """One column file being written incrementally."""
+
+    def __init__(self, path: Path, descr: str) -> None:
+        self.path = path
+        self.descr = descr
+        self.n_rows = 0
+        self._handle = open(path, "wb")
+        self._handle.write(_npy_header(descr, 0))
+
+    def append(self, values: np.ndarray) -> None:
+        data = np.ascontiguousarray(values).astype(self.descr, copy=False)
+        self._handle.write(data.tobytes())
+        self.n_rows += len(data)
+
+    def finalize(self) -> None:
+        self._handle.seek(0)
+        self._handle.write(_npy_header(self.descr, self.n_rows))
+        self._handle.flush()
+        self._handle.close()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+# -- writing ----------------------------------------------------------------
+
+
+class ColumnarWriter:
+    """Stream row chunks of one schema into a columnar store directory.
+
+    Usage::
+
+        writer = ColumnarWriter(path, table.schema)
+        for chunk in table.iter_chunks(65536):
+            writer.append(chunk)
+        writer.finalize()
+        mapped = load_columnar(path)
+
+    Categorical values are dictionary-encoded incrementally: codes are
+    assigned in first-appearance order across the appended chunks, and
+    the dictionary lands in the manifest at :meth:`finalize`.
+    """
+
+    def __init__(self, path: str | Path, schema: Schema) -> None:
+        self.path = Path(path)
+        self.schema = schema
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._files: dict[str, _NpyColumnFile] = {}
+        self._dicts: dict[str, dict[str, int]] = {}
+        self._n_rows = 0
+        self._finalized = False
+        for index, spec in enumerate(schema.columns):
+            descr = _NUMERIC_DESCR if spec.is_numeric else _CODES_DESCR
+            self._files[spec.name] = _NpyColumnFile(
+                self.path / f"col_{index:05d}.npy", descr
+            )
+            if not spec.is_numeric:
+                self._dicts[spec.name] = {}
+
+    def append(self, chunk: Table) -> None:
+        """Append one row chunk (a table with this writer's schema)."""
+        arrays = {
+            spec.name: chunk.column(spec.name).values
+            for spec in self.schema.columns
+        }
+        self.append_arrays(arrays, n_rows=chunk.n_rows)
+
+    def append_arrays(self, arrays: dict[str, np.ndarray], n_rows: int | None = None) -> None:
+        """Append one row chunk given as per-column value arrays.
+
+        ``n_rows`` is only required for zero-column schemas, where the
+        row count cannot be inferred from the arrays.
+        """
+        if n_rows is None:
+            if not arrays:
+                raise ValueError("n_rows is required for zero-column appends")
+            n_rows = len(next(iter(arrays.values())))
+        for spec in self.schema.columns:
+            values = arrays[spec.name]
+            if len(values) != n_rows:
+                raise ValueError(
+                    f"column {spec.name!r} chunk has {len(values)} rows, "
+                    f"expected {n_rows}"
+                )
+            if spec.is_numeric:
+                self._files[spec.name].append(values)
+            else:
+                self._files[spec.name].append(self._encode(spec.name, values))
+        self._n_rows += int(n_rows)
+
+    def _encode(self, name: str, values: np.ndarray) -> np.ndarray:
+        dictionary = self._dicts[name]
+        codes = np.empty(len(values), dtype=np.int32)
+        for i, value in enumerate(values):
+            if value is None:
+                codes[i] = _MISSING_CODE
+            else:
+                code = dictionary.get(value)
+                if code is None:
+                    code = len(dictionary)
+                    dictionary[value] = code
+                codes[i] = code
+        return codes
+
+    def finalize(self, n_rows: int | None = None) -> Path:
+        """Rewrite the column headers with final shapes, write the manifest."""
+        if self._finalized:
+            raise RuntimeError("writer already finalized")
+        if n_rows is not None and n_rows != self._n_rows:
+            raise ValueError(
+                f"expected {n_rows} rows but {self._n_rows} were appended"
+            )
+        entries = []
+        for index, spec in enumerate(self.schema.columns):
+            column_file = self._files[spec.name]
+            if column_file.n_rows != self._n_rows:
+                raise ValueError(
+                    f"column {spec.name!r} has {column_file.n_rows} rows, "
+                    f"expected {self._n_rows}"
+                )
+            column_file.finalize()
+            entry = {
+                "name": spec.name,
+                "type": spec.ctype.value,
+                "file": column_file.path.name,
+            }
+            if not spec.is_numeric:
+                dictionary = self._dicts[spec.name]
+                entry["dictionary"] = list(dictionary)
+            entries.append(entry)
+        manifest = {
+            "format": STORE_FORMAT_VERSION,
+            "n_rows": self._n_rows,
+            "label": self.schema.label,
+            "keys": list(self.schema.keys),
+            "hidden": list(self.schema.hidden),
+            "columns": entries,
+        }
+        manifest_path = self.path / MANIFEST_NAME
+        temp_path = self.path / (MANIFEST_NAME + ".tmp")
+        with open(temp_path, "w") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(temp_path, manifest_path)
+        self._finalized = True
+        return self.path
+
+    def close(self) -> None:
+        """Release file handles without finalizing (error cleanup path)."""
+        for column_file in self._files.values():
+            column_file.close()
+
+    def __enter__(self) -> "ColumnarWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None or not self._finalized:
+            self.close()
+
+
+def save_columnar(
+    table: Table, path: str | Path, chunk_rows: int | None = None
+) -> Path:
+    """Persist ``table`` to a columnar store directory at ``path``.
+
+    Streams through ``iter_chunks`` so peak resident memory is one
+    chunk, even when ``table`` is itself a view or memory-mapped.
+    """
+    chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+    with ColumnarWriter(path, table.schema) as writer:
+        for chunk in table.iter_chunks(chunk_rows):
+            writer.append(chunk)
+        writer.finalize(n_rows=table.n_rows)
+    return Path(path)
+
+
+def spill_table(
+    table: Table, path: str | Path, chunk_rows: int | None = None
+) -> Table:
+    """Write ``table`` to a store and hand back the loaded (mapped) table."""
+    save_columnar(table, path, chunk_rows)
+    return load_columnar(path)
+
+
+# -- loading ----------------------------------------------------------------
+
+#: manifest realpath -> (mtime_ns, parsed manifest)
+_MANIFEST_CACHE: dict[str, tuple[int, dict]] = {}
+
+#: (store realpath, manifest mtime_ns, column name) -> buffer or lazy cell.
+#: Shared process-wide so that unpickling many views of one store opens
+#: each memmap once; the mtime in the key invalidates rewritten stores.
+_BUFFER_CACHE: dict[tuple[str, int, str], object] = {}
+
+
+def _read_manifest(path: Path) -> tuple[int, dict]:
+    manifest_path = path / MANIFEST_NAME
+    real = os.path.realpath(manifest_path)
+    mtime = os.stat(real).st_mtime_ns
+    cached = _MANIFEST_CACHE.get(real)
+    if cached is None or cached[0] != mtime:
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        version = manifest.get("format")
+        if version != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported columnar store format {version!r} at {path}"
+            )
+        cached = (mtime, manifest)
+        _MANIFEST_CACHE[real] = cached
+    return cached
+
+
+def _schema_from_manifest(manifest: dict) -> Schema:
+    specs = tuple(
+        ColumnSpec(entry["name"], ColumnType(entry["type"]))
+        for entry in manifest["columns"]
+    )
+    return Schema(
+        columns=specs,
+        label=manifest["label"],
+        keys=tuple(manifest["keys"]),
+        hidden=tuple(manifest["hidden"]),
+    )
+
+
+def _decode_codes(codes: np.ndarray, dictionary: tuple[str, ...]) -> np.ndarray:
+    """int32 codes -> object-of-str buffer (``-1`` decodes to ``None``)."""
+    lookup = np.empty(len(dictionary) + 1, dtype=object)
+    for code, value in enumerate(dictionary):
+        lookup[code] = value
+    lookup[-1] = None  # _MISSING_CODE indexes here from the end
+    return lookup[codes]
+
+
+def _open_buffer(store: Path, mtime: int, entry: dict, n_rows: int):
+    """The shared buffer (or lazy cell) for one column of a store."""
+    key = (os.path.realpath(store), mtime, entry["name"])
+    buffer = _BUFFER_CACHE.get(key)
+    if buffer is None:
+        file = store / entry["file"]
+        if entry["type"] == ColumnType.NUMERIC.value:
+            if n_rows == 0:
+                # zero-length arrays cannot memory-map; a resident empty
+                # array is an exact stand-in
+                buffer = np.load(file)
+            else:
+                buffer = np.load(file, mmap_mode="r")
+            buffer.setflags(write=False)
+        else:
+            dictionary = tuple(entry.get("dictionary", ()))
+
+            def loader(file=file, dictionary=dictionary, n_rows=n_rows):
+                codes = np.load(file, mmap_mode="r") if n_rows else np.load(file)
+                return _decode_codes(codes, dictionary)
+
+            buffer = _LazyBuffer(loader, n_rows)
+        _BUFFER_CACHE[key] = buffer
+    return buffer
+
+
+def load_columnar(path: str | Path) -> Table:
+    """Load a store written by :class:`ColumnarWriter`/:func:`save_columnar`.
+
+    With streaming enabled the returned table is **file-backed**:
+    numeric buffers are read-only memmaps, categorical buffers decode
+    lazily, and pickling ships store paths instead of data.  Under
+    :func:`table_streaming_disabled` every column materializes into an
+    ordinary resident array instead (the eager reference behavior).
+    """
+    path = Path(path)
+    mtime, manifest = _read_manifest(path)
+    schema = _schema_from_manifest(manifest)
+    n_rows = int(manifest["n_rows"])
+    columns: dict[str, Column] = {}
+    for entry in manifest["columns"]:
+        name = entry["name"]
+        ctype = ColumnType(entry["type"])
+        if not _STREAMING_ENABLED:
+            columns[name] = _load_column_eager(path, entry)
+            continue
+        source = (str(path), name)
+        buffer = _open_buffer(path, mtime, entry, n_rows)
+        if isinstance(buffer, _LazyBuffer):
+            columns[name] = Column.from_lazy(buffer, ctype, source=source)
+        else:
+            columns[name] = Column.from_buffer(buffer, ctype, source=source)
+    return Table(schema, columns, n_rows=n_rows)
+
+
+def _load_column_eager(store: Path, entry: dict) -> Column:
+    """Reference load: fully resident, never mapped, no provenance."""
+    ctype = ColumnType(entry["type"])
+    raw = np.load(store / entry["file"])
+    if ctype is ColumnType.NUMERIC:
+        return Column.from_buffer(raw.astype(np.float64, copy=False), ctype)
+    decoded = _decode_codes(raw, tuple(entry.get("dictionary", ())))
+    return Column.from_buffer(decoded, ctype)
+
+
+def attach_source(column: Column, source: tuple[str, str]) -> None:
+    """Re-bind an unpickled file-backed column to its local store.
+
+    Called from ``Column.__setstate__``: the pickle carried only
+    ``(store directory, column name)`` plus view indices, so the
+    receiving process opens (or re-uses, via the process-wide cache)
+    the memmap/lazy cell itself.
+    """
+    store = Path(source[0])
+    mtime, manifest = _read_manifest(store)
+    entries = {entry["name"]: entry for entry in manifest["columns"]}
+    entry = entries[source[1]]
+    buffer = _open_buffer(store, mtime, entry, int(manifest["n_rows"]))
+    if isinstance(buffer, _LazyBuffer):
+        column._buffer = None
+        column._lazy = buffer
+    else:
+        column._buffer = buffer
+        column._lazy = None
+    column._source = source

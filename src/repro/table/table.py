@@ -90,6 +90,18 @@ class Table:
     def n_columns(self) -> int:
         return len(self._columns)
 
+    @property
+    def file_backed(self) -> bool:
+        """True when every column's base buffer lives in a columnar store.
+
+        File-backed tables pickle as store paths plus view indices —
+        pool workers re-open the memmaps locally instead of receiving
+        the buffers over the pipe (see :mod:`repro.table.store`).
+        """
+        return bool(self._columns) and all(
+            column.is_file_backed for column in self._columns.values()
+        )
+
     def __len__(self) -> int:
         return self.n_rows
 
