@@ -35,6 +35,7 @@ HEADLINE_KEYS = (
     "recovery_overhead",
     "faults_recovered",
     "rss_ratio",
+    "verification_overhead",
 )
 
 

@@ -41,6 +41,7 @@ from .datasets import (
     render_audits,
 )
 from .ml.registry import MODEL_NAMES
+from .table import set_store_verification
 from .table.ops import summarize
 
 
@@ -112,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "PATH and run the study on memory-mapped tables "
                           "(workers re-open the maps instead of receiving "
                           "buffers; results are byte-identical)")
+    run.add_argument("--verify-store", default="lazy",
+                     choices=("off", "lazy", "eager"),
+                     help="columnar-store integrity checking: lazy "
+                          "(default) verifies each column's sha256 digest "
+                          "on first materialization, eager verifies every "
+                          "digest at load time, off skips verification "
+                          "(the format-1 reference behaviour)")
     return parser
 
 
@@ -184,6 +192,7 @@ def command_run(args) -> int:
             return 2
         population = [load_dataset(args.dataset, seed=args.seed, **overrides)]
 
+    set_store_verification(args.verify_store)
     if args.mmap_dir:
         root = Path(args.mmap_dir)
         population = [d.spilled(root / d.name) for d in population]

@@ -79,14 +79,21 @@ byte-identical to a fault-free run.
 
 from __future__ import annotations
 
+import os
 import sys
 import traceback
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 
 from ..cleaning.base import CleaningMethod
 from ..cleaning.registry import methods_for
 from ..datasets.base import Dataset
+from ..table.store import (
+    StoreCorruptionError,
+    load_columnar,
+    recover_store,
+    table_store_path,
+)
 from .runner import (
     DIRTY_ROLE,
     GRANULARITIES,
@@ -324,7 +331,9 @@ def _unit_errors(kind: str, key: tuple):
         yield
     except (KeyboardInterrupt, SystemExit):
         raise
-    except (UnitExecutionError, faults.InjectedFault):
+    except (UnitExecutionError, faults.InjectedFault, StoreCorruptionError):
+        # StoreCorruptionError crosses the pool boundary unwrapped so
+        # the supervisor-side recovery ladder can read its .store path
         raise
     except Exception as error:
         raise UnitExecutionError(
@@ -588,6 +597,80 @@ def _clear_worker_state() -> None:
     _WORKER_CONFIG = None
 
 
+def _refresh_dataset(dataset: Dataset, store_real: str, eager_table) -> Dataset:
+    """Re-open ``dataset``'s file-backed tables after a store recovery.
+
+    The table whose store matches ``store_real`` is replaced by
+    ``eager_table`` when the recovery degraded to in-memory; every
+    other file-backed table is reloaded so the new generation's maps
+    (fresh manifest mtime) replace any stale cells.  A table whose own
+    store is *also* corrupt is left as-is — its units will fail and
+    route through their own recovery.
+    """
+
+    def refresh(table):
+        store_dir = table_store_path(table)
+        if store_dir is None:
+            return table
+        if eager_table is not None and os.path.realpath(store_dir) == store_real:
+            return eager_table
+        try:
+            return load_columnar(store_dir)
+        except (OSError, StoreCorruptionError):
+            return table
+
+    dirty = refresh(dataset.dirty)
+    clean = refresh(dataset.clean)
+    if dirty is dataset.dirty and clean is dataset.clean:
+        return dataset
+    return dataclass_replace(dataset, dirty=dirty, clean=clean)
+
+
+def _make_store_recovery(sup, jobs, blocks, by_block, config, manifest):
+    """The supervisor recovery hook for :class:`StoreCorruptionError`.
+
+    Runs in the parent between drain events.  Diagnoses and heals the
+    corrupt store (rebuild under a new generation, or degrade to the
+    eager table), then re-broadcasts a payload built from refreshed
+    datasets so retried units map the healed generation instead of the
+    corrupt bytes.  Units that fail for any other reason fall straight
+    through to the ordinary retry path.
+    """
+    current: dict[tuple[str, str], Dataset] = {}
+
+    def recover(unit, error) -> None:
+        store_dir = getattr(error, "store", None)
+        if not store_dir:
+            return
+        action, eager_table = recover_store(store_dir)
+        if action == "clean":
+            # a sibling unit's recovery already healed this generation;
+            # the plain retry will re-open the fresh maps
+            return
+        if action == "unrecoverable":
+            manifest.count("store_unrecoverable")
+            return
+        manifest.count(
+            "store_rebuilds" if action == "rebuilt" else "store_degradations"
+        )
+        store_real = os.path.realpath(store_dir)
+        payload = []
+        for block in blocks:
+            block_key = (block.dataset.name, block.error_type)
+            if not by_block.get(block_key):
+                continue
+            base = current.get(block_key, block.dataset)
+            refreshed = _refresh_dataset(base, store_real, eager_table)
+            current[block_key] = refreshed
+            payload.append((refreshed, block.error_type, block.methods))
+        if jobs == 1:
+            _register_blocks(payload, config)
+        else:
+            sup.rebroadcast(payload)
+
+    return recover
+
+
 @contextmanager
 def _supervised(jobs, blocks, by_block, config, sup_config, manifest):
     """A :class:`Supervisor` over the pending blocks' broadcast payload.
@@ -596,13 +679,18 @@ def _supervised(jobs, blocks, by_block, config, sup_config, manifest):
     the block registry is installed here (and cleared afterwards) the
     way the pool initializer installs it in workers — one lazily built
     ``ErrorTypeRun`` per block, exactly the sequential path's
-    one-run-per-block structure.
+    one-run-per-block structure.  Either way the storage-integrity
+    recovery hook is armed: corrupt-store failures heal the store and
+    refresh the broadcast before the unit retries.
     """
     payload = _broadcast_payload(blocks, by_block)
     if jobs == 1:
         _register_blocks(payload, config)
     try:
         with Supervisor(jobs, payload, config, sup_config, manifest) as sup:
+            sup.set_recovery(
+                _make_store_recovery(sup, jobs, blocks, by_block, config, manifest)
+            )
             yield sup
     finally:
         if jobs == 1:

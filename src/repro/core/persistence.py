@@ -89,10 +89,11 @@ def save_experiments(
 ) -> None:
     """Write raw experiments to a JSON file (creates parent dirs).
 
-    The write is atomic: the payload lands in a temp file in the same
-    directory, is fsynced, and replaces the destination via
-    ``os.replace`` — a crash mid-dump can no longer leave a truncated
-    document where the previous study's results used to be.
+    The write is atomic and durable: the payload lands in a temp file
+    in the same directory, is fsynced, replaces the destination via
+    ``os.replace``, and the parent directory is fsynced so the rename
+    itself survives power loss — a crash mid-dump can no longer leave a
+    truncated document where the previous study's results used to be.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -109,12 +110,31 @@ def save_experiments(
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        _fsync_directory(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+def _fsync_directory(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    Mirrors the file-level fsync above: ``os.replace`` makes the rename
+    atomic, but only a directory fsync makes it durable.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported here
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_experiments(path: str | Path) -> list[RawExperiment]:

@@ -22,7 +22,15 @@ import numpy as np
 
 from ..cleaning.base import ERROR_TYPES
 from ..cleaning.human import ROW_ID
-from ..table import ColumnSpec, ColumnType, Table, spill_table
+from ..table import (
+    ColumnSpec,
+    ColumnType,
+    Table,
+    register_store_source,
+    save_columnar,
+    spill_table,
+    table_streaming_enabled,
+)
 
 
 @dataclass(frozen=True)
@@ -98,13 +106,34 @@ class Dataset:
         runs over the result keep the base buffers on disk — pool
         workers re-open the maps instead of receiving buffer bytes.
         Study output is byte-identical either way.
+
+        Each store is registered with a recovery source (the resident
+        table it was spilled from), so on-disk corruption detected
+        mid-study can be healed in place — rebuild under a new
+        generation, or degrade back to this resident table — through
+        :func:`~repro.table.store.recover_store`.
         """
         directory = Path(directory)
-        return replace(
-            self,
-            dirty=spill_table(self.dirty, directory / "dirty", chunk_rows),
-            clean=spill_table(self.clean, directory / "clean", chunk_rows),
-        )
+        stores = {
+            "dirty": (self.dirty, directory / "dirty"),
+            "clean": (self.clean, directory / "clean"),
+        }
+        spilled = {
+            role: spill_table(table, store, chunk_rows)
+            for role, (table, store) in stores.items()
+        }
+        if table_streaming_enabled():
+            for role, (table, store) in stores.items():
+                if table.file_backed:
+                    continue  # already store-backed; that store's own source applies
+                register_store_source(
+                    store,
+                    rebuild=lambda target, t=table, c=chunk_rows: save_columnar(
+                        t, target, c
+                    ),
+                    eager=lambda t=table: t,
+                )
+        return replace(self, dirty=spilled["dirty"], clean=spilled["clean"])
 
 
 def attach_row_ids(table: Table) -> Table:

@@ -364,11 +364,19 @@ class Column:
     def __getstate__(self):
         if self._source is not None:
             # file-backed: ship provenance, not bytes — the receiving
-            # process (e.g. a pool worker) re-opens the memmap locally
+            # process (e.g. a pool worker) re-opens the memmap locally.
+            # base_rows is the base-buffer length, which lets the worker
+            # defer a StoreCorruptionError found at attach time to first
+            # materialization instead of dying in the pool initializer
             return {
                 "ctype": self.ctype.value,
                 "indices": self._indices,
                 "source": self._source,
+                "base_rows": (
+                    len(self._buffer)
+                    if self._buffer is not None
+                    else len(self._lazy)
+                ),
             }
         return {
             "ctype": self.ctype.value,
@@ -384,7 +392,7 @@ class Column:
         if "source" in state:
             from .store import attach_source
 
-            attach_source(self, state["source"])
+            attach_source(self, state["source"], state.get("base_rows"))
         else:
             self._buffer = state["buffer"]
 

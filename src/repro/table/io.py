@@ -140,8 +140,16 @@ def read_csv(
         return _read_csv_reference(path)
     chunks = stream_csv(path, chunk_rows or DEFAULT_CHUNK_ROWS)
     if spill is not None:
+        # the manifest records the CSV origin so recover_store can
+        # re-spill the store after on-disk corruption, even from a
+        # process that never saw this call
+        source = {
+            "kind": "csv",
+            "path": str(Path(path).resolve()),
+            "chunk_rows": chunk_rows or DEFAULT_CHUNK_ROWS,
+        }
         first = next(chunks)
-        with ColumnarWriter(spill, first.schema) as writer:
+        with ColumnarWriter(spill, first.schema, source=source) as writer:
             writer.append(first)
             for chunk in chunks:
                 writer.append(chunk)

@@ -1,18 +1,24 @@
-"""Binary columnar on-disk format with memory-mapped loading.
+"""Binary columnar on-disk format with memory-mapped, verified loading.
 
 A **store** is a directory holding one ``.npy`` file per column plus a
 ``manifest.json`` that carries the schema, the row count, and (for
-categorical columns) the value dictionary:
+categorical columns) the value dictionary.  Format 2 adds end-to-end
+integrity metadata — a per-column content digest and byte length, plus a
+store-level generation stamp:
 
 ``manifest.json``::
 
     {
-      "format": 1,
+      "format": 2,
       "n_rows": 1200000,
+      "generation": 1,
       "label": "y", "keys": [...], "hidden": [...],
+      "source": {"kind": "csv", "path": "/data/x.csv", "chunk_rows": 65536},
       "columns": [
-        {"name": "age", "type": "numeric", "file": "col_00000.npy"},
+        {"name": "age", "type": "numeric", "file": "col_00000.npy",
+         "sha256": "ab12...", "n_bytes": 9600000},
         {"name": "city", "type": "categorical", "file": "col_00001.npy",
+         "sha256": "cd34...", "n_bytes": 4800000,
          "dictionary": ["tokyo", "lima"]}
       ]
     }
@@ -32,23 +38,53 @@ rewrites with the final shape — so a writer never holds more than one
 chunk resident.  That is what ``read_csv(..., spill=...)`` and the
 spill-aware injectors stream through.
 
+Integrity
+---------
+
+The ``sha256`` entry hashes exactly the payload bytes streamed through
+:meth:`ColumnarWriter.append` (everything after the fixed 128-byte npy
+header), updated incrementally as chunks are written — zero extra
+passes over the data.  Verification is mode-controlled
+(:func:`set_store_verification`, CLI ``--verify-store``):
+
+* ``"lazy"`` (default) — :func:`load_columnar` checks manifest shape
+  and byte length eagerly, and each column's digest is verified once
+  per process on first materialization (through regular file reads,
+  never through the map, so a truncated file raises instead of
+  delivering ``SIGBUS``).
+* ``"eager"`` — all digests are verified up front in ``load_columnar``.
+* ``"off"`` — the unverified format-1 behaviour.
+
+Every detected inconsistency raises :class:`StoreCorruptionError` with
+a ``kind`` from the taxonomy below, the store path, and (when known)
+the column name.  Format-1 stores still load but are flagged
+unverifiable (:func:`store_info`).  A store whose manifest records a
+``source`` (or that was registered via :func:`register_store_source`)
+can be healed in place by :func:`recover_store`: rebuild from source
+under a bumped ``generation`` — the manifest mtime changes, so the
+mtime-keyed per-process caches re-open fresh maps — or degrade to the
+eager in-memory table.
+
 Following the repo-wide kernel pattern, :func:`table_streaming_disabled`
 switches the whole streaming stack back to the eager reference
-behavior: ``load_columnar`` materializes resident columns, ``read_csv``
-runs the historical row-major parser, ``write_csv`` the per-cell
-formatter, and the injectors ignore their ``spill`` arguments.  Both
+behavior, and :func:`store_verification_disabled` keeps the unverified
+load path as the executable reference for the integrity layer.  All
 modes must produce byte-identical study output — pinned by
-``tests/test_out_of_core.py`` and gated by
-``benchmarks/bench_out_of_core.py``.
+``tests/test_out_of_core.py`` / ``tests/test_storage_integrity.py`` and
+gated by ``benchmarks/bench_out_of_core.py`` /
+``benchmarks/bench_storage_integrity.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -56,7 +92,9 @@ from .column import Column, _LazyBuffer
 from .schema import ColumnSpec, ColumnType, Schema
 from .table import Table
 
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
+#: manifest formats this reader accepts (format 1 loads unverified)
+SUPPORTED_STORE_FORMATS = (1, 2)
 MANIFEST_NAME = "manifest.json"
 
 #: default row-chunk size for every streaming entry point
@@ -71,6 +109,13 @@ _CODES_DESCR = "<i4"
 #: process-wide switch for the streaming/memmap table stack; flip only
 #: through :func:`table_streaming_disabled`
 _STREAMING_ENABLED = True
+
+#: verification modes, least to most paranoid
+VERIFY_MODES = ("off", "lazy", "eager")
+
+#: process-wide digest-verification mode; flip through
+#: :func:`set_store_verification` / :func:`store_verification_disabled`
+_VERIFY_MODE = "lazy"
 
 
 def table_streaming_enabled() -> bool:
@@ -98,6 +143,119 @@ def table_streaming_disabled():
         _STREAMING_ENABLED = previous
 
 
+def store_verification_mode() -> str:
+    """The active digest-verification mode (``off``/``lazy``/``eager``)."""
+    return _VERIFY_MODE
+
+
+def set_store_verification(mode: str) -> None:
+    """Set the process-wide digest-verification mode.
+
+    ``"lazy"`` (the default) verifies each column's content digest once
+    per process on first materialization; ``"eager"`` verifies every
+    digest inside :func:`load_columnar`; ``"off"`` is the unverified
+    reference path.  Workers inherit the parent's mode through the
+    fork-based pool start.
+    """
+    global _VERIFY_MODE
+    if mode not in VERIFY_MODES:
+        raise ValueError(f"unknown store verification mode {mode!r}")
+    _VERIFY_MODE = mode
+
+
+@contextmanager
+def store_verification(mode: str):
+    """Run the block under a specific verification mode."""
+    previous = _VERIFY_MODE
+    set_store_verification(mode)
+    try:
+        yield
+    finally:
+        set_store_verification(previous)
+
+
+@contextmanager
+def store_verification_disabled():
+    """Run on the unverified (format-1 behaviour) reference load path.
+
+    The kernel-toggle convention: the pre-integrity code survives as
+    the executable spec, and the verified path must produce
+    byte-identical study output — pinned by
+    ``tests/test_storage_integrity.py``.
+    """
+    with store_verification("off"):
+        yield
+
+
+# -- corruption taxonomy ----------------------------------------------------
+
+TRUNCATED_COLUMN = "truncated_column"
+HEADER_MISMATCH = "header_mismatch"
+DIGEST_MISMATCH = "digest_mismatch"
+TORN_MANIFEST = "torn_manifest"
+VERSION_SKEW = "version_skew"
+MISSING_COLUMN = "missing_column"
+MISSING_MANIFEST = "missing_manifest"
+
+
+class StoreCorruptionError(RuntimeError):
+    """A columnar store failed an integrity check.
+
+    ``kind`` is one of the taxonomy constants above; ``store`` is the
+    store directory and ``column`` the offending column name when one
+    is known.  The error pickles losslessly (it crosses the pool
+    boundary so the supervisor-side recovery ladder can read ``store``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        store: str | Path,
+        column: str | None = None,
+        detail: str = "",
+    ) -> None:
+        self.kind = kind
+        self.store = str(store)
+        self.column = column
+        self.detail = detail
+        message = f"{kind} in columnar store {self.store}"
+        if column is not None:
+            message += f", column {column!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.kind, self.store, self.column, self.detail))
+
+
+# -- injected I/O faults ----------------------------------------------------
+
+#: optional hook(op, store_key) raising OSError to simulate disk faults;
+#: installed by the chaos harness (core/faults.py), never set in
+#: production.  ``op`` is "write" (store writes) or "read" (digest
+#: verification reads).
+_IO_FAULT_HOOK: Optional[Callable[[str, str], None]] = None
+
+
+def set_io_fault_hook(hook: Callable[[str, str], None] | None) -> None:
+    """Install (or clear) the injected-I/O-fault hook for this process."""
+    global _IO_FAULT_HOOK
+    _IO_FAULT_HOOK = hook
+
+
+def _store_fault_key(store: Path) -> str:
+    """A tmpdir-stable key for a store directory (last two components)."""
+    real = Path(os.path.realpath(store))
+    return f"{real.parent.name}/{real.name}"
+
+
+def _fire_io_fault(op: str, store: Path) -> None:
+    hook = _IO_FAULT_HOOK
+    if hook is not None:
+        hook(op, _store_fault_key(store))
+
+
 # -- incremental .npy files -------------------------------------------------
 
 #: fixed total header size; rewritten in place once the row count is known
@@ -119,19 +277,34 @@ def _npy_header(descr: str, n_rows: int) -> bytes:
 
 
 class _NpyColumnFile:
-    """One column file being written incrementally."""
+    """One column file being written incrementally.
+
+    The payload digest is fed as bytes stream out, so by
+    :meth:`finalize` the sha256 of everything after the fixed header is
+    already known — integrity metadata costs no second pass.  (The
+    back-patched header itself is not digested; its shape claim is
+    cross-checked against the manifest row count at load time instead.)
+    """
 
     def __init__(self, path: Path, descr: str) -> None:
         self.path = path
         self.descr = descr
         self.n_rows = 0
+        self.n_bytes = 0
+        self._sha256 = hashlib.sha256()
         self._handle = open(path, "wb")
         self._handle.write(_npy_header(descr, 0))
 
     def append(self, values: np.ndarray) -> None:
         data = np.ascontiguousarray(values).astype(self.descr, copy=False)
-        self._handle.write(data.tobytes())
+        payload = data.tobytes()
+        self._handle.write(payload)
+        self._sha256.update(payload)
         self.n_rows += len(data)
+        self.n_bytes += len(payload)
+
+    def digest(self) -> str:
+        return self._sha256.hexdigest()
 
     def finalize(self) -> None:
         self._handle.seek(0)
@@ -147,6 +320,20 @@ class _NpyColumnFile:
 # -- writing ----------------------------------------------------------------
 
 
+def _fsync_directory(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported here
+        pass
+    finally:
+        os.close(fd)
+
+
 class ColumnarWriter:
     """Stream row chunks of one schema into a columnar store directory.
 
@@ -160,22 +347,46 @@ class ColumnarWriter:
 
     Categorical values are dictionary-encoded incrementally: codes are
     assigned in first-appearance order across the appended chunks, and
-    the dictionary lands in the manifest at :meth:`finalize`.
+    the dictionary lands in the manifest at :meth:`finalize` together
+    with each column's streamed sha256 digest and payload byte length.
+
+    Rewriting an existing store bumps the manifest ``generation`` and
+    replaces the column files (old files are unlinked first, so
+    already-open maps in other processes keep their inodes while new
+    opens see the new data).  If an exception — including an injected
+    ``ENOSPC`` — escapes mid-write, the ``with`` form unlinks the
+    partial ``.npy`` files and removes a directory it created, so a
+    failed spill never leaves a mappable-looking corpse.
     """
 
-    def __init__(self, path: str | Path, schema: Schema) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        schema: Schema,
+        *,
+        source: dict | None = None,
+        generation: int | None = None,
+    ) -> None:
         self.path = Path(path)
         self.schema = schema
+        self._created_dir = not self.path.exists()
         self.path.mkdir(parents=True, exist_ok=True)
+        if generation is None:
+            generation = _next_generation(self.path)
+        self.generation = generation
+        self._source = source
         self._files: dict[str, _NpyColumnFile] = {}
         self._dicts: dict[str, dict[str, int]] = {}
         self._n_rows = 0
         self._finalized = False
         for index, spec in enumerate(schema.columns):
             descr = _NUMERIC_DESCR if spec.is_numeric else _CODES_DESCR
-            self._files[spec.name] = _NpyColumnFile(
-                self.path / f"col_{index:05d}.npy", descr
-            )
+            file_path = self.path / f"col_{index:05d}.npy"
+            try:
+                os.unlink(file_path)  # rebuilds must not mutate mapped inodes
+            except FileNotFoundError:
+                pass
+            self._files[spec.name] = _NpyColumnFile(file_path, descr)
             if not spec.is_numeric:
                 self._dicts[spec.name] = {}
 
@@ -197,6 +408,7 @@ class ColumnarWriter:
             if not arrays:
                 raise ValueError("n_rows is required for zero-column appends")
             n_rows = len(next(iter(arrays.values())))
+        _fire_io_fault("write", self.path)
         for spec in self.schema.columns:
             values = arrays[spec.name]
             if len(values) != n_rows:
@@ -232,6 +444,7 @@ class ColumnarWriter:
             raise ValueError(
                 f"expected {n_rows} rows but {self._n_rows} were appended"
             )
+        _fire_io_fault("write", self.path)
         entries = []
         for index, spec in enumerate(self.schema.columns):
             column_file = self._files[spec.name]
@@ -245,6 +458,8 @@ class ColumnarWriter:
                 "name": spec.name,
                 "type": spec.ctype.value,
                 "file": column_file.path.name,
+                "sha256": column_file.digest(),
+                "n_bytes": column_file.n_bytes,
             }
             if not spec.is_numeric:
                 dictionary = self._dicts[spec.name]
@@ -253,16 +468,23 @@ class ColumnarWriter:
         manifest = {
             "format": STORE_FORMAT_VERSION,
             "n_rows": self._n_rows,
+            "generation": self.generation,
             "label": self.schema.label,
             "keys": list(self.schema.keys),
             "hidden": list(self.schema.hidden),
             "columns": entries,
         }
+        if self._source is not None:
+            manifest["source"] = self._source
         manifest_path = self.path / MANIFEST_NAME
         temp_path = self.path / (MANIFEST_NAME + ".tmp")
         with open(temp_path, "w") as handle:
             json.dump(manifest, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_path, manifest_path)
+        _fsync_directory(self.path)
+        _GENERATION_HINTS[os.path.realpath(self.path)] = self.generation
         self._finalized = True
         return self.path
 
@@ -271,24 +493,54 @@ class ColumnarWriter:
         for column_file in self._files.values():
             column_file.close()
 
+    def abort(self) -> None:
+        """Unlink the partial column files written so far.
+
+        Also removes the manifest tmp file and, when this writer created
+        the store directory, the (now empty) directory itself.
+        """
+        self.close()
+        for column_file in self._files.values():
+            try:
+                os.unlink(column_file.path)
+            except OSError:
+                pass
+        try:
+            os.unlink(self.path / (MANIFEST_NAME + ".tmp"))
+        except OSError:
+            pass
+        if self._created_dir:
+            try:
+                self.path.rmdir()  # only succeeds when empty
+            except OSError:
+                pass
+
     def __enter__(self) -> "ColumnarWriter":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is not None or not self._finalized:
+        if exc_type is not None:
+            self.abort()
+        elif not self._finalized:
             self.close()
 
 
 def save_columnar(
-    table: Table, path: str | Path, chunk_rows: int | None = None
+    table: Table,
+    path: str | Path,
+    chunk_rows: int | None = None,
+    *,
+    source: dict | None = None,
 ) -> Path:
     """Persist ``table`` to a columnar store directory at ``path``.
 
     Streams through ``iter_chunks`` so peak resident memory is one
     chunk, even when ``table`` is itself a view or memory-mapped.
+    ``source`` (optional) is recorded in the manifest so the store can
+    be rebuilt after corruption (see :func:`recover_store`).
     """
     chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
-    with ColumnarWriter(path, table.schema) as writer:
+    with ColumnarWriter(path, table.schema, source=source) as writer:
         for chunk in table.iter_chunks(chunk_rows):
             writer.append(chunk)
         writer.finalize(n_rows=table.n_rows)
@@ -308,28 +560,90 @@ def spill_table(
 #: manifest realpath -> (mtime_ns, parsed manifest)
 _MANIFEST_CACHE: dict[str, tuple[int, dict]] = {}
 
-#: (store realpath, manifest mtime_ns, column name) -> buffer or lazy cell.
-#: Shared process-wide so that unpickling many views of one store opens
-#: each memmap once; the mtime in the key invalidates rewritten stores.
-_BUFFER_CACHE: dict[tuple[str, int, str], object] = {}
+#: (store realpath, manifest mtime_ns, column name, verified-variant) ->
+#: buffer or lazy cell.  Shared process-wide so that unpickling many
+#: views of one store opens each memmap once; the mtime in the key
+#: invalidates rewritten stores, and the variant flag keeps verified
+#: and unverified cells apart when the mode is toggled mid-process.
+_BUFFER_CACHE: dict[tuple[str, int, str, bool], object] = {}
+
+#: (store realpath, manifest mtime_ns, column name) whose payload
+#: digest this process has already verified — each generation of each
+#: column is hashed at most once per process
+_VERIFIED: set[tuple[str, int, str]] = set()
+
+#: store realpath -> highest generation this process has seen; lets a
+#: rebuild bump the generation even when the manifest is unreadable
+_GENERATION_HINTS: dict[str, int] = {}
+
+
+def _next_generation(path: Path) -> int:
+    real = os.path.realpath(path)
+    known = _GENERATION_HINTS.get(real, 0)
+    try:
+        _, manifest = _read_manifest(Path(path))
+        known = max(known, int(manifest.get("generation", 1)))
+    except (StoreCorruptionError, OSError, ValueError):
+        pass
+    return known + 1
 
 
 def _read_manifest(path: Path) -> tuple[int, dict]:
     manifest_path = path / MANIFEST_NAME
     real = os.path.realpath(manifest_path)
-    mtime = os.stat(real).st_mtime_ns
+    try:
+        mtime = os.stat(real).st_mtime_ns
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            MISSING_MANIFEST, path, detail="manifest.json does not exist"
+        ) from None
     cached = _MANIFEST_CACHE.get(real)
     if cached is None or cached[0] != mtime:
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise StoreCorruptionError(
+                MISSING_MANIFEST, path, detail="manifest.json does not exist"
+            ) from None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise StoreCorruptionError(
+                TORN_MANIFEST, path, detail=str(error)
+            ) from None
         version = manifest.get("format")
-        if version != STORE_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported columnar store format {version!r} at {path}"
+        if version not in SUPPORTED_STORE_FORMATS:
+            raise StoreCorruptionError(
+                VERSION_SKEW,
+                path,
+                detail=f"unsupported columnar store format {version!r}",
             )
         cached = (mtime, manifest)
         _MANIFEST_CACHE[real] = cached
+        store_real = os.path.realpath(path)
+        generation = int(manifest.get("generation", 1))
+        if generation > _GENERATION_HINTS.get(store_real, 0):
+            _GENERATION_HINTS[store_real] = generation
     return cached
+
+
+def store_info(path: str | Path) -> dict:
+    """Inspect a store's integrity metadata without opening buffers.
+
+    Returns ``{"format", "generation", "n_rows", "verifiable"}`` —
+    ``verifiable`` is ``False`` for format-1 stores, which still load
+    but carry no digests to check against.
+    """
+    _, manifest = _read_manifest(Path(path))
+    columns = manifest.get("columns", [])
+    verifiable = int(manifest.get("format", 1)) >= 2 and all(
+        "sha256" in entry for entry in columns
+    )
+    return {
+        "format": int(manifest.get("format", 1)),
+        "generation": int(manifest.get("generation", 1)),
+        "n_rows": int(manifest["n_rows"]),
+        "verifiable": verifiable,
+    }
 
 
 def _schema_from_manifest(manifest: dict) -> Schema:
@@ -354,9 +668,117 @@ def _decode_codes(codes: np.ndarray, dictionary: tuple[str, ...]) -> np.ndarray:
     return lookup[codes]
 
 
+# -- integrity checks -------------------------------------------------------
+
+
+def _check_entry_shape(store: Path, entry: dict, n_rows: int) -> None:
+    """Structural check: the column file exists with the exact size."""
+    name = entry["name"]
+    file = store / entry["file"]
+    try:
+        size = os.stat(file).st_size
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            MISSING_COLUMN,
+            store,
+            name,
+            detail=f"column file {entry['file']} is missing",
+        ) from None
+    expected = entry.get("n_bytes")
+    if expected is None:  # format-1 manifests carry no byte length
+        itemsize = 8 if entry["type"] == ColumnType.NUMERIC.value else 4
+        expected = n_rows * itemsize
+    if size != _HEADER_SIZE + expected:
+        raise StoreCorruptionError(
+            TRUNCATED_COLUMN,
+            store,
+            name,
+            detail=f"{size} bytes on disk, expected {_HEADER_SIZE + expected}",
+        )
+
+
+def _check_entry_digest(
+    store: Path,
+    mtime: int,
+    entry: dict,
+    *,
+    use_cache: bool = True,
+    fire_hook: bool = True,
+) -> None:
+    """Stream the column payload and compare against the manifest sha256.
+
+    Reads through regular file I/O, never through a map, so a short
+    file raises cleanly instead of delivering ``SIGBUS`` mid-study.
+    Verified ``(store, generation, column)`` triples are memoized per
+    process.
+    """
+    digest = entry.get("sha256")
+    if digest is None:  # format-1 entry: nothing to verify against
+        return
+    name = entry["name"]
+    key = (os.path.realpath(store), mtime, name)
+    if use_cache and key in _VERIFIED:
+        return
+    if fire_hook:
+        _fire_io_fault("read", store)
+    sha256 = hashlib.sha256()
+    try:
+        with open(store / entry["file"], "rb") as handle:
+            handle.seek(_HEADER_SIZE)
+            while True:
+                block = handle.read(1 << 20)
+                if not block:
+                    break
+                sha256.update(block)
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            MISSING_COLUMN,
+            store,
+            name,
+            detail=f"column file {entry['file']} is missing",
+        ) from None
+    if sha256.hexdigest() != digest:
+        raise StoreCorruptionError(
+            DIGEST_MISMATCH,
+            store,
+            name,
+            detail="content digest does not match manifest sha256",
+        )
+    _VERIFIED.add(key)
+
+
+def _load_npy(store: Path, entry: dict, n_rows: int, *, mmap: bool):
+    """np.load with npy-header failures mapped into the taxonomy."""
+    name = entry["name"]
+    try:
+        array = np.load(store / entry["file"], mmap_mode="r" if mmap else None)
+    except FileNotFoundError:
+        raise StoreCorruptionError(
+            MISSING_COLUMN,
+            store,
+            name,
+            detail=f"column file {entry['file']} is missing",
+        ) from None
+    except ValueError as error:
+        raise StoreCorruptionError(
+            HEADER_MISMATCH, store, name, detail=str(error)
+        ) from None
+    if array.ndim != 1 or len(array) != n_rows:
+        raise StoreCorruptionError(
+            HEADER_MISMATCH,
+            store,
+            name,
+            detail=f"header shape {array.shape} for {n_rows} manifest rows",
+        )
+    return array
+
+
 def _open_buffer(store: Path, mtime: int, entry: dict, n_rows: int):
     """The shared buffer (or lazy cell) for one column of a store."""
-    key = (os.path.realpath(store), mtime, entry["name"])
+    verify = (
+        _VERIFY_MODE != "off" and "sha256" in entry and n_rows > 0
+    )
+    key = (os.path.realpath(store), mtime, entry["name"], verify)
     buffer = _BUFFER_CACHE.get(key)
     if buffer is None:
         file = store / entry["file"]
@@ -365,14 +787,33 @@ def _open_buffer(store: Path, mtime: int, entry: dict, n_rows: int):
                 # zero-length arrays cannot memory-map; a resident empty
                 # array is an exact stand-in
                 buffer = np.load(file)
+                buffer.setflags(write=False)
+            elif verify:
+
+                def loader(store=store, mtime=mtime, entry=entry, n_rows=n_rows):
+                    _check_entry_shape(store, entry, n_rows)
+                    _check_entry_digest(store, mtime, entry)
+                    return _load_npy(store, entry, n_rows, mmap=True)
+
+                buffer = _LazyBuffer(loader, n_rows)
             else:
                 buffer = np.load(file, mmap_mode="r")
-            buffer.setflags(write=False)
+                buffer.setflags(write=False)
         else:
             dictionary = tuple(entry.get("dictionary", ()))
 
-            def loader(file=file, dictionary=dictionary, n_rows=n_rows):
-                codes = np.load(file, mmap_mode="r") if n_rows else np.load(file)
+            def loader(
+                store=store,
+                mtime=mtime,
+                entry=entry,
+                dictionary=dictionary,
+                n_rows=n_rows,
+                verify=verify,
+            ):
+                if verify:
+                    _check_entry_shape(store, entry, n_rows)
+                    _check_entry_digest(store, mtime, entry)
+                codes = _load_npy(store, entry, n_rows, mmap=bool(n_rows))
                 return _decode_codes(codes, dictionary)
 
             buffer = _LazyBuffer(loader, n_rows)
@@ -388,11 +829,20 @@ def load_columnar(path: str | Path) -> Table:
     lazily, and pickling ships store paths instead of data.  Under
     :func:`table_streaming_disabled` every column materializes into an
     ordinary resident array instead (the eager reference behavior).
+
+    Unless verification is off, the manifest's shape/byte-length claims
+    are checked eagerly here; content digests are checked lazily on
+    first materialization (``"lazy"``) or up front (``"eager"``).
     """
     path = Path(path)
     mtime, manifest = _read_manifest(path)
     schema = _schema_from_manifest(manifest)
     n_rows = int(manifest["n_rows"])
+    if _STREAMING_ENABLED and _VERIFY_MODE != "off":
+        for entry in manifest["columns"]:
+            _check_entry_shape(path, entry, n_rows)
+            if _VERIFY_MODE == "eager":
+                _check_entry_digest(path, mtime, entry)
     columns: dict[str, Column] = {}
     for entry in manifest["columns"]:
         name = entry["name"]
@@ -419,18 +869,53 @@ def _load_column_eager(store: Path, entry: dict) -> Column:
     return Column.from_buffer(decoded, ctype)
 
 
-def attach_source(column: Column, source: tuple[str, str]) -> None:
+def _corruption_placeholder(error: StoreCorruptionError, n_rows: int) -> _LazyBuffer:
+    """A lazy cell that re-raises ``error`` on every materialization.
+
+    Installed by :func:`attach_source` when the store is already
+    corrupt at unpickle time (e.g. a torn manifest): the worker must
+    not die in the pool initializer — the unit that touches the data
+    fails instead, which is what routes the error into the supervisor's
+    recovery ladder.
+    """
+
+    def loader():
+        raise error
+
+    return _LazyBuffer(loader, n_rows)
+
+
+def attach_source(
+    column: Column, source: tuple[str, str], n_rows: int | None = None
+) -> None:
     """Re-bind an unpickled file-backed column to its local store.
 
     Called from ``Column.__setstate__``: the pickle carried only
-    ``(store directory, column name)`` plus view indices, so the
-    receiving process opens (or re-uses, via the process-wide cache)
-    the memmap/lazy cell itself.
+    ``(store directory, column name)`` plus view indices and the base
+    row count, so the receiving process opens (or re-uses, via the
+    process-wide cache) the memmap/lazy cell itself.  When the store is
+    corrupt and ``n_rows`` is known, a placeholder cell defers the
+    :class:`StoreCorruptionError` to first materialization.
     """
     store = Path(source[0])
-    mtime, manifest = _read_manifest(store)
-    entries = {entry["name"]: entry for entry in manifest["columns"]}
-    entry = entries[source[1]]
+    try:
+        mtime, manifest = _read_manifest(store)
+        entries = {entry["name"]: entry for entry in manifest["columns"]}
+        entry = entries.get(source[1])
+        if entry is None:
+            raise StoreCorruptionError(
+                MISSING_COLUMN,
+                store,
+                source[1],
+                detail="column is not in the store manifest",
+            )
+    except StoreCorruptionError as error:
+        if n_rows is None:
+            raise
+        column._buffer = None
+        column._lazy = _corruption_placeholder(error, n_rows)
+        column._source = source
+        return
     buffer = _open_buffer(store, mtime, entry, int(manifest["n_rows"]))
     if isinstance(buffer, _LazyBuffer):
         column._buffer = None
@@ -439,3 +924,140 @@ def attach_source(column: Column, source: tuple[str, str]) -> None:
         column._buffer = buffer
         column._lazy = None
     column._source = source
+
+
+# -- recovery ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreSource:
+    """How to regenerate a store: a rebuild closure and/or an eager load.
+
+    ``rebuild(path)`` rewrites the store directory from the recorded
+    origin (re-spill from CSV, re-save from a resident table) under a
+    bumped generation; ``eager()`` returns the fully-resident table for
+    the degrade rung of the recovery ladder.
+    """
+
+    rebuild: Callable[[Path], None] | None = None
+    eager: Callable[[], Table] | None = None
+
+
+#: store realpath -> in-process recovery source (registered at spill time)
+_STORE_SOURCES: dict[str, StoreSource] = {}
+
+
+def register_store_source(
+    path: str | Path,
+    *,
+    rebuild: Callable[[Path], None] | None = None,
+    eager: Callable[[], Table] | None = None,
+) -> None:
+    """Record how the store at ``path`` can be regenerated after corruption."""
+    _STORE_SOURCES[os.path.realpath(path)] = StoreSource(rebuild=rebuild, eager=eager)
+
+
+def store_source(path: str | Path) -> StoreSource | None:
+    """The recovery source for a store, if any.
+
+    In-process registrations (``register_store_source``) win; otherwise
+    a ``source`` record in the manifest (written by
+    ``read_csv(..., spill=...)``) yields a CSV re-spill source that
+    works across processes and sessions.
+    """
+    real = os.path.realpath(path)
+    registered = _STORE_SOURCES.get(real)
+    if registered is not None:
+        return registered
+    try:
+        _, manifest = _read_manifest(Path(path))
+    except StoreCorruptionError:
+        return None
+    spec = manifest.get("source")
+    if (
+        isinstance(spec, dict)
+        and spec.get("kind") == "csv"
+        and os.path.exists(str(spec.get("path", "")))
+    ):
+        csv_path = str(spec["path"])
+        chunk_rows = spec.get("chunk_rows")
+
+        def rebuild(target: Path, csv_path=csv_path, chunk_rows=chunk_rows) -> None:
+            from .io import read_csv
+
+            read_csv(csv_path, chunk_rows=chunk_rows, spill=target)
+
+        def eager(csv_path=csv_path, chunk_rows=chunk_rows) -> Table:
+            from .io import read_csv
+
+            with table_streaming_disabled():
+                return read_csv(csv_path, chunk_rows=chunk_rows)
+
+        return StoreSource(rebuild=rebuild, eager=eager)
+    return None
+
+
+def diagnose_store(path: str | Path) -> StoreCorruptionError | None:
+    """Full eager integrity check; the error found, or ``None`` if clean.
+
+    Re-hashes every column (ignoring the per-process verified memo) so
+    a just-rebuilt store is genuinely re-checked, and skips the
+    injected-fault hook — the doctor must not catch the disease.
+    """
+    path = Path(path)
+    try:
+        mtime, manifest = _read_manifest(path)
+        n_rows = int(manifest["n_rows"])
+        for entry in manifest["columns"]:
+            _check_entry_shape(path, entry, n_rows)
+            _check_entry_digest(
+                path, mtime, entry, use_cache=False, fire_hook=False
+            )
+    except StoreCorruptionError as error:
+        return error
+    return None
+
+
+def recover_store(path: str | Path) -> tuple[str, Table | None]:
+    """Heal a corrupt store; ``(action, eager_table_or_None)``.
+
+    The ladder (each rung only if the previous is unavailable/failed):
+
+    * ``"clean"`` — re-diagnosis found nothing wrong (a sibling unit's
+      recovery already healed it); retry as-is.
+    * ``"rebuilt"`` — the recorded source re-wrote the store under a
+      new generation and it now verifies end to end.
+    * ``"degraded"`` — rebuild unavailable or failed; the returned
+      fully-resident table replaces the mapped one.
+    * ``"unrecoverable"`` — no source; the caller falls through to the
+      supervisor's quarantine machinery.
+    """
+    path = Path(path)
+    if diagnose_store(path) is None:
+        return ("clean", None)
+    source = store_source(path)
+    if source is None:
+        return ("unrecoverable", None)
+    if source.rebuild is not None:
+        try:
+            source.rebuild(path)
+        except (OSError, StoreCorruptionError, ValueError):
+            pass
+        else:
+            if diagnose_store(path) is None:
+                return ("rebuilt", None)
+    if source.eager is not None:
+        try:
+            return ("degraded", source.eager())
+        except (OSError, StoreCorruptionError, ValueError):
+            pass
+    return ("unrecoverable", None)
+
+
+def table_store_path(table: Table) -> str | None:
+    """The store directory backing ``table``'s columns, if file-backed."""
+    for name in table.schema.names:
+        source = table.column(name)._source
+        if source is not None:
+            return source[0]
+    return None
