@@ -36,6 +36,7 @@ HEADLINE_KEYS = (
     "faults_recovered",
     "rss_ratio",
     "verification_overhead",
+    "observability_overhead",
 )
 
 

@@ -52,6 +52,9 @@ ERROR_TYPES = (
     MISLABELS,
 )
 
+#: metrics hook, push-installed by :func:`repro.core.observability.install`
+_metrics = None
+
 
 class DetectionResult:
     """Immutable output of one detector on one table.
@@ -238,6 +241,8 @@ class DetectionCache:
         entry = self._detectors.get(key)
         if entry is None or entry[0] is not train:
             self.misses += 1
+            if _metrics is not None:
+                _metrics.count("cleaning.detection_cache.misses")
             byproduct = detector.fit_detect(train)
             entry = (train, detector)
             self._detectors[key] = entry
@@ -249,6 +254,8 @@ class DetectionCache:
                 )
         else:
             self.hits += 1
+            if _metrics is not None:
+                _metrics.count("cleaning.detection_cache.hits")
         return entry[1]
 
     def detect(self, detector: Detector, table: Table) -> DetectionResult:
@@ -259,14 +266,23 @@ class DetectionCache:
         entry = self._detections.get(key)
         if entry is None or entry[0] is not detector or entry[1] is not table:
             self.misses += 1
+            if _metrics is not None:
+                _metrics.count("cleaning.detection_cache.misses")
             entry = (detector, table, detector.detect(table))
             self._detections[key] = entry
         else:
             self.hits += 1
+            if _metrics is not None:
+                _metrics.count("cleaning.detection_cache.hits")
         return entry[2]
 
     def clear(self) -> None:
         """Release all entries (and the tables/detectors they pin alive)."""
+        if _metrics is not None:
+            _metrics.gauge_max(
+                "cleaning.detection_cache.peak_entries",
+                len(self._detectors) + len(self._detections),
+            )
         self._detectors.clear()
         self._detections.clear()
 

@@ -32,6 +32,14 @@ from .core import (
     SupervisorConfig,
     render_error_type_report,
 )
+from .core import observability
+from .core.observability import (
+    ObservabilityConfig,
+    RunReport,
+    TRACE_LEVELS,
+    diagnostic,
+    validate_metrics_path,
+)
 from .core.reporting import relation_sizes
 from .datasets import (
     DATASET_NAMES,
@@ -120,6 +128,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "on first materialization, eager verifies every "
                           "digest at load time, off skips verification "
                           "(the format-1 reference behaviour)")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write a JSON run report (cache hit rates, "
+                          "supervisor recovery ledger, store "
+                          "verifications, trace spans) to PATH; "
+                          "collection never changes results — persisted "
+                          "study output is byte-identical with or "
+                          "without it")
+    run.add_argument("--trace", default="off", choices=TRACE_LEVELS,
+                     help="trace-span verbosity for the run report: off "
+                          "(counters only), phase (study phases), unit "
+                          "(phases plus per-unit timings aggregated by "
+                          "kind)")
+
+    report = commands.add_parser(
+        "report", help="pretty-print a run report written by run --metrics"
+    )
+    report.add_argument("path", help="path of a run-report JSON file")
     return parser
 
 
@@ -159,8 +184,18 @@ def command_describe(args) -> int:
 def command_run(args) -> int:
     """Run a study and print all applicable Q1-Q5 reports."""
     if args.jobs < 1:
-        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        diagnostic(f"--jobs must be >= 1, got {args.jobs}")
         return 2
+    metrics_path = None
+    if args.metrics is not None:
+        # fail before the study starts — a run that computes for an hour
+        # and then cannot write its report helps nobody (mirrors the
+        # checkpoint path's fail-fast discipline)
+        try:
+            metrics_path = validate_metrics_path(args.metrics)
+        except ValueError as error:
+            diagnostic(f"error: {error}")
+            return 2
     if args.paper:
         config = StudyConfig(
             n_splits=20, cv_folds=5, seed=args.seed,
@@ -197,13 +232,16 @@ def command_run(args) -> int:
         root = Path(args.mmap_dir)
         population = [d.spilled(root / d.name) for d in population]
 
+    observe = metrics_path is not None or args.trace != "off"
+    if observe:
+        observability.install(
+            ObservabilityConfig(enabled=True, trace=args.trace)
+        )
+
     study = CleanMLStudy(config)
     for dataset in population:
         if not dataset.has(args.error_type):
-            print(
-                f"skipping {dataset.name}: no {args.error_type}",
-                file=sys.stderr,
-            )
+            diagnostic(f"skipping {dataset.name}: no {args.error_type}")
             continue
         study.add(dataset, args.error_type)
     supervisor = SupervisorConfig(
@@ -213,7 +251,7 @@ def command_run(args) -> int:
     )
     try:
         database = study.run(
-            progress=lambda ds, et: print(f"running {ds} x {et} ...", file=sys.stderr),
+            progress=lambda ds, et: diagnostic(f"running {ds} x {et} ..."),
             n_jobs=args.jobs,
             checkpoint=args.checkpoint,
             granularity=args.granularity,
@@ -222,31 +260,60 @@ def command_run(args) -> int:
     except KeyboardInterrupt:
         # execute_study has already cancelled pending futures and torn
         # the pool down; everything completed is banked in the ledger.
-        print("\nrun interrupted", file=sys.stderr)
+        diagnostic("\nrun interrupted")
         if args.checkpoint:
             resume = " ".join(sys.argv if sys.argv else ["python -m repro"])
-            print(
+            diagnostic(
                 f"resume with: {resume}\n(completed units recorded in "
-                f"{args.checkpoint} will be skipped)",
-                file=sys.stderr,
+                f"{args.checkpoint} will be skipped)"
             )
         else:
-            print(
+            diagnostic(
                 "no --checkpoint was given, so completed work was not "
                 "recorded; rerun with --checkpoint PATH to make runs "
-                "resumable",
-                file=sys.stderr,
+                "resumable"
             )
         return 130
+    finally:
+        if observe:
+            report = observability.build_report(
+                meta={
+                    "datasets": ",".join(d.name for d in population),
+                    "error_type": args.error_type,
+                    "jobs": args.jobs,
+                    "granularity": args.granularity,
+                    "trace": args.trace,
+                }
+            )
+            observability.uninstall()
+            if metrics_path is not None:
+                report.save(metrics_path)
+                diagnostic(f"run report written to {metrics_path}")
+            else:
+                diagnostic(report.describe())
     manifest = study.failure_manifest
     if manifest.failures or manifest.dropped_blocks:
-        print(f"\nFAILURE MANIFEST\n{manifest.describe()}", file=sys.stderr)
+        diagnostic(f"\nFAILURE MANIFEST\n{manifest.describe()}")
     print(render_error_type_report(database, args.error_type))
     sizes = relation_sizes(database)
     print(
         "\nrelation sizes: "
         + ", ".join(f"{name}={count}" for name, count in sizes.items())
     )
+    return 0
+
+
+def command_report(args) -> int:
+    """Pretty-print a persisted run report."""
+    try:
+        report = RunReport.load(args.path)
+    except FileNotFoundError:
+        diagnostic(f"error: no run report at {args.path}")
+        return 2
+    except ValueError as error:
+        diagnostic(f"error: {error}")
+        return 2
+    print(report.describe())
     return 0
 
 
@@ -257,6 +324,8 @@ def main(argv: list[str] | None = None) -> int:
         return command_list()
     if args.command == "describe":
         return command_describe(args)
+    if args.command == "report":
+        return command_report(args)
     return command_run(args)
 
 

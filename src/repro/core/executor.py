@@ -80,7 +80,6 @@ byte-identical to a fault-free run.
 from __future__ import annotations
 
 import os
-import sys
 import traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, replace as dataclass_replace
@@ -109,7 +108,7 @@ from .runner import (
     merge_split_results,
     resolve_fold_scores,
 )
-from . import faults
+from . import faults, observability
 from .supervisor import (
     FailureManifest,
     StudyExecutionError,
@@ -554,11 +553,10 @@ def execute_study(
         # file), so everything recorded is durable.  Tell the user how
         # to pick the run back up.
         if checkpoint is not None:
-            print(
+            observability.diagnostic(
                 f"\ninterrupted — completed units are banked in {checkpoint}; "
                 f"re-run the same command with --checkpoint {checkpoint} "
-                "to resume",
-                file=sys.stderr,
+                "to resume"
             )
         raise
     finally:

@@ -405,6 +405,11 @@ def detection_cache_disabled():
         _DETECTION_CACHE_ENABLED = previous
 
 
+#: metrics hook, push-installed by :func:`repro.core.observability.install`
+#: (``None`` keeps the instrumented cache paths at one global load + test)
+_metrics = None
+
+
 class EncodedTable:
     """A training table encoded once and shared by every model on it.
 
@@ -452,6 +457,10 @@ class EncodedTable:
         if entry is None or entry[0] is not table:
             entry = (table, self.labeler.transform(table.labels))
             self._label_cache[id(table)] = entry
+            if _metrics is not None:
+                _metrics.count("runner.label_cache.misses")
+        elif _metrics is not None:
+            _metrics.count("runner.label_cache.hits")
         return entry[1]
 
     def encode(self, table: Table) -> tuple[np.ndarray, np.ndarray]:
@@ -465,6 +474,10 @@ class EncodedTable:
         if entry is None or entry[0] is not table:
             entry = (table, self.encoder.transform(table.features_table()))
             self._eval_cache[id(table)] = entry
+            if _metrics is not None:
+                _metrics.count("runner.eval_cache.misses")
+        elif _metrics is not None:
+            _metrics.count("runner.eval_cache.hits")
         return entry[1], self._encode_labels(table)
 
     def discard(self, table: Table) -> None:
@@ -497,10 +510,16 @@ class _EvalMemo:
         if entry is None or entry[0] is not model or entry[1] is not table:
             entry = (model, table, model.evaluate(table))
             self._entries[key] = entry
+            if _metrics is not None:
+                _metrics.count("runner.eval_memo.misses")
+        elif _metrics is not None:
+            _metrics.count("runner.eval_memo.hits")
         return entry[2]
 
     def clear(self) -> None:
         """Release all entries (and the models/tables they pin alive)."""
+        if _metrics is not None:
+            _metrics.gauge_max("runner.eval_memo.peak_entries", len(self._entries))
         self._entries.clear()
 
 

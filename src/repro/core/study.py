@@ -15,6 +15,7 @@ from ..cleaning.base import ERROR_TYPES, CleaningMethod
 from ..datasets.base import Dataset
 from ..stats.flags import flags_with_fdr
 from ..stats.ttest import paired_t_test
+from . import observability
 from .executor import StudyBlock, execute_study
 from .relations import CleanMLDatabase
 from .runner import RawExperiment, StudyConfig
@@ -112,20 +113,22 @@ class CleanMLStudy:
         retried its way to completion is byte-identical to a clean one.
         """
         self.failure_manifest = FailureManifest()
-        self.raw_experiments.extend(
-            execute_study(
-                self._queue,
-                self.config,
-                n_jobs=n_jobs,
-                checkpoint=checkpoint,
-                progress=progress,
-                granularity=granularity,
-                supervisor=supervisor,
-                manifest=self.failure_manifest,
+        with observability.span("study/execute"):
+            self.raw_experiments.extend(
+                execute_study(
+                    self._queue,
+                    self.config,
+                    n_jobs=n_jobs,
+                    checkpoint=checkpoint,
+                    progress=progress,
+                    granularity=granularity,
+                    supervisor=supervisor,
+                    manifest=self.failure_manifest,
+                )
             )
-        )
         self._queue.clear()
-        return self.build_database()
+        with observability.span("study/database"):
+            return self.build_database()
 
     def build_database(
         self, alpha: float | None = None, procedure: str | None = None

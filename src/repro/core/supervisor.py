@@ -52,7 +52,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 
-from . import faults
+from . import faults, observability
 from .faults import FaultPlan
 from .runner import derive_seed
 
@@ -138,6 +138,12 @@ class FailureManifest:
 
     def count(self, stat: str, n: int = 1) -> None:
         self.stats[stat] = self.stats.get(stat, 0) + n
+        # mirror the recovery ledger into the run report: the manifest
+        # counts in the parent process, so these counters are exact even
+        # when the worker that caused the event died with its collector
+        collector = observability.metrics()
+        if collector is not None:
+            collector.count(f"supervisor.{stat}", n)
 
     def describe(self) -> str:
         """Human-readable multi-line summary (empty string if clean)."""
@@ -177,18 +183,34 @@ class Unit:
     attempt: int = 0
 
 
-def _init_worker(payload, config, plan) -> None:
-    """Pool initializer: broadcast blocks, then arm the chaos plan."""
+def _init_worker(payload, config, plan, obs_config=None) -> None:
+    """Pool initializer: arm observability, broadcast blocks, arm chaos.
+
+    Observability installs first so block registration itself (store
+    attach, digest verification) is already metered.
+    """
     from .executor import _register_blocks
 
+    if obs_config is not None:
+        observability.install(obs_config)
     _register_blocks(payload, config)
     faults.install_plan(plan)
 
 
 def _run_unit(func, args, kind, key, attempt):
-    """Worker-side unit entry: inject scheduled faults, then run."""
+    """Worker-side unit entry: inject scheduled faults, then run.
+
+    With observability on, the unit's result ships back wrapped with the
+    worker collector's delta (drained per unit, so merges in the parent
+    are commutative sums regardless of completion order).
+    """
     faults.maybe_inject(kind, key, attempt, in_process=False)
-    return func(*args)
+    collector = observability.metrics()
+    if collector is None:
+        return func(*args)
+    with observability.span(f"unit/{kind}", level="unit"):
+        result = func(*args)
+    return observability.ShippedUnit(result, collector.drain())
 
 
 def _describe_error(error: BaseException) -> str:
@@ -222,7 +244,12 @@ class Supervisor:
         self.jobs = jobs
         self.config = config if config is not None else SupervisorConfig()
         self.manifest = manifest if manifest is not None else FailureManifest()
-        self._initargs = (payload, study_config, self.config.fault_plan)
+        self._initargs = (
+            payload,
+            study_config,
+            self.config.fault_plan,
+            observability.current_config(),
+        )
         self._pool: ProcessPoolExecutor | None = None
         self._queue: deque[Unit] = deque()
         self._delayed: list[tuple[float, Unit]] = []
@@ -330,7 +357,8 @@ class Supervisor:
             unit = self._queue.popleft()
             try:
                 faults.maybe_inject(unit.kind, unit.key, unit.attempt, in_process=True)
-                result = unit.func(*unit.args)
+                with observability.span(f"unit/{unit.kind}", level="unit"):
+                    result = unit.func(*unit.args)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as error:
@@ -362,7 +390,7 @@ class Supervisor:
                     continue  # already swept by a resurrection below
                 unit, _ = entry
                 try:
-                    result = future.result()
+                    result = observability.unwrap_unit(future.result())
                 except BrokenProcessPool as error:
                     events.extend(self._resurrect(unit, error))
                 except (KeyboardInterrupt, SystemExit):
@@ -476,7 +504,7 @@ class Supervisor:
             if future.done():
                 # A result that landed before the break is still good.
                 try:
-                    result = future.result()
+                    result = observability.unwrap_unit(future.result())
                 except Exception:
                     broken.append(other)
                 else:
@@ -519,7 +547,7 @@ class Supervisor:
             if future.done():
                 other, _ = self._in_flight.pop(future)
                 try:
-                    result = future.result()
+                    result = observability.unwrap_unit(future.result())
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except Exception as error:

@@ -42,6 +42,9 @@ from ..table.column import table_views_enabled
 #: through :func:`tuning_kernel_disabled`
 _TUNING_KERNEL_ENABLED = True
 
+#: metrics hook, push-installed by :func:`repro.core.observability.install`
+_metrics = None
+
 
 def tuning_kernel_enabled() -> bool:
     """Whether the fold-major kernel is the default tuning path."""
@@ -206,9 +209,13 @@ class FoldData:
         """
         key = type(model)
         if key not in self._workspaces:
+            if _metrics is not None:
+                _metrics.count("tuning.fold_workspace.builds")
             self._workspaces[key] = model.make_fold_workspace(
                 self.X_train, self.y_train, self.X_val
             )
+        elif _metrics is not None:
+            _metrics.count("tuning.fold_workspace.reuses")
         return self._workspaces[key]
 
     def release_workspaces(self) -> None:
@@ -267,6 +274,10 @@ def score_fold_candidates(
     workspace = fold.workspace_for(model) if use_workspace else None
     if workspace is not None:
         workspace.prepare(clones)
+    if workspace is not None and _metrics is not None:
+        # every candidate scored through the workspace is one reuse of
+        # the fold's candidate-invariant precomputation
+        _metrics.count("tuning.fold_workspace.candidate_predicts", len(clones))
     scores: list[float] = []
     for candidate in clones:
         if workspace is not None:

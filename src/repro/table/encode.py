@@ -31,6 +31,9 @@ from .column import table_views_enabled
 from .schema import ColumnType
 from .table import Table
 
+#: metrics hook, push-installed by :func:`repro.core.observability.install`
+_metrics = None
+
 
 class LabelEncoder:
     """Maps raw label values to contiguous integer class ids."""
@@ -174,6 +177,9 @@ class FeatureEncoder:
         if not FeatureEncoder.vectorized:
             return self._transform_reference(table)
         n = table.n_rows
+        if _metrics is not None:
+            _metrics.count("encode.matrix_fills")
+            _metrics.count("encode.matrix_cells", n * len(self.feature_names_))
         out = np.zeros((n, len(self.feature_names_)), dtype=np.float64)
         offset = 0
         for name in self._numeric:
@@ -240,11 +246,15 @@ class FeatureEncoder:
         key = (name, id(base))
         cached = self._code_cache.get(key)
         if cached is None:
+            if _metrics is not None:
+                _metrics.count("encode.code_cache.misses")
             codes = np.fromiter(
                 map(index.get, base, repeat(-1)), dtype=np.int64, count=len(base)
             )
             cached = (base, codes)
             self._code_cache[key] = cached
+        elif _metrics is not None:
+            _metrics.count("encode.code_cache.hits")
         return cached[1][column.view_indices]
 
     def _transform_reference(self, table: Table) -> np.ndarray:

@@ -576,6 +576,9 @@ _VERIFIED: set[tuple[str, int, str]] = set()
 #: rebuild bump the generation even when the manifest is unreadable
 _GENERATION_HINTS: dict[str, int] = {}
 
+#: metrics hook, push-installed by :func:`repro.core.observability.install`
+_metrics = None
+
 
 def _next_generation(path: Path) -> int:
     real = os.path.realpath(path)
@@ -718,6 +721,8 @@ def _check_entry_digest(
     name = entry["name"]
     key = (os.path.realpath(store), mtime, name)
     if use_cache and key in _VERIFIED:
+        if _metrics is not None:
+            _metrics.count("store.digest_memo_hits")
         return
     if fire_hook:
         _fire_io_fault("read", store)
@@ -738,12 +743,17 @@ def _check_entry_digest(
             detail=f"column file {entry['file']} is missing",
         ) from None
     if sha256.hexdigest() != digest:
+        if _metrics is not None:
+            _metrics.count("store.digest_failures")
         raise StoreCorruptionError(
             DIGEST_MISMATCH,
             store,
             name,
             detail="content digest does not match manifest sha256",
         )
+    if _metrics is not None:
+        _metrics.count("store.digest_verifications")
+        _metrics.count("store.bytes_verified", int(entry.get("n_bytes", 0)))
     _VERIFIED.add(key)
 
 

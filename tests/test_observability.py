@@ -1,0 +1,454 @@
+"""Run-report observability tests (ISSUE 10).
+
+The contract under test has three legs.  **Side-effect freedom**: the
+persisted study JSON is byte-identical with observability on (full
+``unit`` tracing) or off, across the ``(n_jobs 1/2) x
+(split/cell/fold)`` matrix.  **Deterministic merge**: per-worker metric
+deltas absorb commutatively, so repeated runs of one configuration
+produce identical counters no matter the work-stealing order.
+**Complete recovery ledger**: every supervisor recovery path — retries,
+resurrections, degradation, quarantine — surfaces in the
+:class:`RunReport` with counts that exactly match the failure manifest,
+pinned under deterministic chaos plans.
+
+The out-of-core classes pin the satellite bugfix: detector/repair fits
+on memory-mapped tables stream through ``Table.iter_chunks`` with
+bit-identical statistics, and the mapped columns stay unmaterialized.
+"""
+
+import pytest
+
+from repro.cleaning import OUTLIERS, OutlierCleaning
+from repro.cleaning.missing import ImputationRepair, MissingValueDetector
+from repro.core import (
+    CleanMLStudy,
+    FaultPlan,
+    StudyConfig,
+    SupervisorConfig,
+    save_experiments,
+)
+from repro.core import observability
+from repro.core.observability import (
+    MetricsCollector,
+    ObservabilityConfig,
+    RunReport,
+    build_report,
+    observing,
+    validate_metrics_path,
+)
+from repro.datasets import load_dataset
+from repro.table import Table, make_schema, spill_table
+
+FAST = StudyConfig(
+    n_splits=2,
+    cv_folds=2,
+    models=("logistic_regression", "naive_bayes"),
+    seed=7,
+)
+
+#: halved grid for the expensive chaos arms
+SLIM_METHODS = (("SD", "mean"),)
+
+#: full unit-level collection — the most invasive configuration, so the
+#: byte-identity matrix runs against the worst case
+OBSERVE_ALL = ObservabilityConfig(enabled=True, trace="unit")
+
+
+def make_study(methods=(("SD", "mean"), ("IQR", "mean"))):
+    study = CleanMLStudy(FAST)
+    study.add(
+        load_dataset("Sensor", seed=0, n_rows=100),
+        OUTLIERS,
+        methods=[OutlierCleaning(d, r) for d, r in methods],
+    )
+    return study
+
+
+def run_study(out_path, methods=(("SD", "mean"), ("IQR", "mean")),
+              obs=None, **kwargs):
+    """Run the tiny study; returns (bytes, manifest, report-or-None)."""
+    study = make_study(methods)
+    if obs is None:
+        study.run(**kwargs)
+        save_experiments(study.raw_experiments, out_path)
+        return out_path.read_bytes(), study.failure_manifest, None
+    with observing(obs):
+        study.run(**kwargs)
+        report = build_report()
+    save_experiments(study.raw_experiments, out_path)
+    return out_path.read_bytes(), study.failure_manifest, report
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Observability-OFF persisted bytes for both study grids."""
+    root = tmp_path_factory.mktemp("reference")
+    fast, _, _ = run_study(root / "fast.json")
+    slim, _, _ = run_study(root / "slim.json", methods=SLIM_METHODS)
+    return {"fast": fast, "slim": slim}
+
+
+class TestByteIdentity:
+    """Collection never perturbs results, at any scheduling shape."""
+
+    @pytest.mark.parametrize("granularity", ["split", "cell", "fold"])
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_observed_run_is_byte_identical(
+        self, tmp_path, reference, granularity, n_jobs
+    ):
+        produced, manifest, report = run_study(
+            tmp_path / "out.json",
+            n_jobs=n_jobs,
+            granularity=granularity,
+            obs=OBSERVE_ALL,
+        )
+        assert produced == reference["fast"]
+        assert not manifest.failures
+        # the run was actually observed: layer counters are present
+        # (worker deltas shipped home when n_jobs > 1)
+        assert report.counters.get("encode.matrix_fills", 0) > 0
+        assert "cleaning.detection_cache.misses" in report.counters
+
+    def test_observability_off_is_truly_off(self, tmp_path, reference):
+        produced, _, report = run_study(
+            tmp_path / "out.json",
+            obs=ObservabilityConfig(enabled=False),
+        )
+        assert produced == reference["fast"]
+        assert report.counters == {} and report.spans == {}
+
+
+class TestMergeDeterminism:
+    """Absorption order under work-stealing never changes the counters."""
+
+    def test_repeated_pool_runs_have_identical_counters(self, tmp_path):
+        _, _, first = run_study(
+            tmp_path / "a.json", n_jobs=2, granularity="fold", obs=OBSERVE_ALL
+        )
+        _, _, second = run_study(
+            tmp_path / "b.json", n_jobs=2, granularity="fold", obs=OBSERVE_ALL
+        )
+        assert first.counters == second.counters
+        assert first.gauges == second.gauges
+        # span *counts* are deterministic; wall-clock figures are not
+        assert {k: v[0] for k, v in first.spans.items()} == \
+               {k: v[0] for k, v in second.spans.items()}
+
+    def test_absorb_is_commutative(self):
+        a = {"counters": {"x": 2, "y": 1}, "gauges": {"g": 5.0},
+             "spans": {"s": [2, 1.0, 0.2, 0.8]}}
+        b = {"counters": {"x": 3, "z": 7}, "gauges": {"g": 2.0, "h": 1.0},
+             "spans": {"s": [1, 0.1, 0.1, 0.1], "t": [1, 2.0, 2.0, 2.0]}}
+        left, right = MetricsCollector(), MetricsCollector()
+        left.absorb(a), left.absorb(b)
+        right.absorb(b), right.absorb(a)
+        assert left.snapshot() == right.snapshot()
+
+    def test_drain_resets_the_collector(self):
+        collector = MetricsCollector()
+        collector.count("n", 3)
+        shipped = collector.drain()
+        assert shipped["counters"] == {"n": 3}
+        assert collector.snapshot() == {
+            "counters": {}, "gauges": {}, "spans": {}
+        }
+
+
+class TestRecoveryLedger:
+    """Every supervisor recovery path is visible in the run report, with
+    counts exactly matching the failure manifest."""
+
+    @staticmethod
+    def supervisor_counters(report):
+        return {
+            key.split("supervisor.", 1)[1]: value
+            for key, value in report.counters.items()
+            if key.startswith("supervisor.")
+        }
+
+    def test_retries_exactly_counted(self, tmp_path, reference):
+        plan = FaultPlan(seed=1, exception_rate=1.0, faulty_attempts=2)
+        produced, manifest, report = run_study(
+            tmp_path / "out.json",
+            granularity="cell",
+            obs=OBSERVE_ALL,
+            supervisor=SupervisorConfig(
+                max_retries=3, backoff_base=0.0, fault_plan=plan
+            ),
+        )
+        assert produced == reference["fast"]
+        # 2 splits x 2 methods x 2 models = 8 cells, 2 failures each
+        assert report.counters["supervisor.retries"] == 16
+        assert self.supervisor_counters(report) == dict(manifest.stats)
+
+    def test_resurrections_counted(self, tmp_path, reference):
+        plan = FaultPlan(seed=3, crash_rate=1.0)  # every unit dies once
+        produced, manifest, report = run_study(
+            tmp_path / "out.json",
+            methods=SLIM_METHODS,
+            n_jobs=2,
+            granularity="cell",
+            obs=OBSERVE_ALL,
+            supervisor=SupervisorConfig(
+                max_retries=2, backoff_base=0.001, fault_plan=plan
+            ),
+        )
+        assert produced == reference["slim"]
+        assert report.counters["supervisor.resurrections"] >= 1
+        assert self.supervisor_counters(report) == dict(manifest.stats)
+
+    def test_degradation_counted(self, tmp_path, reference):
+        poison = (("cell", "Sensor", "outliers", 0, 0, "logistic_regression"),)
+        produced, manifest, report = run_study(
+            tmp_path / "out.json",
+            granularity="cell",
+            obs=OBSERVE_ALL,
+            supervisor=SupervisorConfig(
+                max_retries=1, backoff_base=0.0,
+                fault_plan=FaultPlan(poison=poison),
+            ),
+        )
+        assert produced == reference["fast"]
+        assert report.counters["supervisor.degraded_cells"] == 1
+        assert self.supervisor_counters(report) == dict(manifest.stats)
+
+    def test_quarantine_counted(self, tmp_path):
+        poison = (("split", "Sensor", "outliers", 1),)
+        _, manifest, report = run_study(
+            tmp_path / "out.json",
+            checkpoint=tmp_path / "ledger.jsonl",
+            obs=OBSERVE_ALL,
+            supervisor=SupervisorConfig(
+                max_retries=1, backoff_base=0.0, quarantine=True,
+                fault_plan=FaultPlan(poison=poison),
+            ),
+        )
+        assert report.counters["supervisor.quarantined"] == 1
+        assert self.supervisor_counters(report) == dict(manifest.stats)
+
+
+class TestTraceSpans:
+    def test_phase_tracing_records_study_phases_only(self, tmp_path):
+        _, _, report = run_study(
+            tmp_path / "out.json",
+            obs=ObservabilityConfig(enabled=True, trace="phase"),
+        )
+        assert "study/execute" in report.spans
+        assert "study/database" in report.spans
+        assert not any("unit/" in name for name in report.spans)
+
+    def test_unit_tracing_times_units_by_kind(self, tmp_path):
+        _, _, report = run_study(
+            tmp_path / "out.json",
+            n_jobs=2,
+            granularity="cell",
+            obs=OBSERVE_ALL,
+        )
+        cell_spans = [n for n in report.spans if n.endswith("unit/cell")]
+        assert cell_spans
+        # 2 splits x 2 methods x 2 models = 8 cells, aggregated by kind
+        assert sum(report.spans[n][0] for n in cell_spans) == 8
+
+    def test_counters_only_when_trace_off(self, tmp_path):
+        _, _, report = run_study(
+            tmp_path / "out.json",
+            obs=ObservabilityConfig(enabled=True, trace="off"),
+        )
+        assert report.counters and not report.spans
+
+    def test_span_level_gating(self):
+        with observing(ObservabilityConfig(enabled=True, trace="phase")) as c:
+            with observability.span("quiet", level="unit"):
+                pass
+            with observability.span("loud", level="phase"):
+                pass
+            assert set(c.spans) == {"loud"}
+
+    def test_nested_spans_join_paths(self):
+        collector = MetricsCollector()
+        with collector.span("outer"):
+            with collector.span("inner"):
+                pass
+        assert set(collector.spans) == {"outer", "outer/inner"}
+
+    def test_span_is_noop_when_uninstalled(self):
+        assert observability.metrics() is None
+        with observability.span("never"):
+            pass  # must not raise, must not record anywhere
+
+    def test_invalid_trace_level_rejected(self):
+        with pytest.raises(ValueError):
+            ObservabilityConfig(enabled=True, trace="verbose")
+
+
+@pytest.fixture
+def missing_table():
+    schema = make_schema(
+        numeric=["age", "income"],
+        categorical=["city"],
+        label="y",
+        keys=("city",),
+    )
+    return Table.from_dict(
+        schema,
+        {
+            "age": [25.5, None, 40.0, 33.0, 29.0],
+            "income": [1000.0, 2000.0, None, 1500.0, 900.0],
+            "city": ["NY", None, "SF", "NY", "LA"],
+            "y": ["yes", "no", "yes", "no", "yes"],
+        },
+    )
+
+
+class TestOutOfCoreFits:
+    """Satellite bugfix: detector/repair fits stream on mapped tables."""
+
+    @pytest.mark.parametrize("categorical", ["mode", "dummy"])
+    @pytest.mark.parametrize("numeric", ["mean", "median", "mode"])
+    def test_mapped_fit_statistics_bit_identical(
+        self, tmp_path, missing_table, numeric, categorical, monkeypatch
+    ):
+        from repro.cleaning import missing
+
+        # stream in 2-row chunks so the assembled arrays genuinely cross
+        # chunk boundaries (the default chunk dwarfs this fixture)
+        monkeypatch.setattr(missing, "FIT_CHUNK_ROWS", 2)
+        mapped = spill_table(missing_table, tmp_path / "t", chunk_rows=2)
+        eager = ImputationRepair(numeric, categorical).fit(missing_table, None)
+        streamed = ImputationRepair(numeric, categorical).fit(mapped, None)
+        assert streamed._numeric_fill == eager._numeric_fill
+        assert streamed._categorical_fill == eager._categorical_fill
+
+    def test_mapped_fit_leaves_columns_unmaterialized(
+        self, tmp_path, missing_table
+    ):
+        mapped = spill_table(missing_table, tmp_path / "t", chunk_rows=2)
+        ImputationRepair("mean", "mode").fit(mapped, None)
+        MissingValueDetector().fit(mapped).detect(mapped)
+        # the fix under test: fitting used to call column.mean()/.mode()
+        # (and detect column.missing_mask()), whose .values access caches
+        # a full resident materialization inside the mapped table
+        for name in ("age", "income", "city"):
+            assert mapped.column(name).is_file_backed
+
+    def test_mapped_detect_matches_resident(self, tmp_path, missing_table):
+        mapped = spill_table(missing_table, tmp_path / "t", chunk_rows=2)
+        detector = MissingValueDetector().fit(missing_table)
+        eager = detector.detect(missing_table)
+        streamed = detector.detect(mapped)
+        for name, mask in eager.cell_masks.items():
+            assert (streamed.cell_masks[name] == mask).all()
+        assert (streamed.row_mask == eager.row_mask).all()
+
+    def test_gather_metrics_distinguish_paths(
+        self, tmp_path, missing_table, monkeypatch
+    ):
+        from repro.cleaning import missing
+
+        monkeypatch.setattr(missing, "FIT_CHUNK_ROWS", 2)
+        mapped = spill_table(missing_table, tmp_path / "t", chunk_rows=2)
+        with observing() as collector:
+            ImputationRepair("mean", "mode").fit(mapped, None)
+            # age, income, city all streamed; 5 rows / 2-row fit chunks
+            # = 3 chunk gathers per column
+            assert collector.counters["cleaning.fit_streamed_columns"] == 3
+            assert collector.counters["cleaning.fit_chunk_gathers"] == 9
+            assert "cleaning.fit_full_gathers" not in collector.counters
+        with observing() as collector:
+            ImputationRepair("mean", "mode").fit(missing_table, None)
+            assert collector.counters["cleaning.fit_full_gathers"] == 3
+            assert "cleaning.fit_streamed_columns" not in collector.counters
+
+
+class TestRunReport:
+    def build(self):
+        collector = MetricsCollector()
+        collector.count("cache.hits", 5)
+        collector.gauge_max("memo.peak", 12)
+        collector.observe("phase/run", 1.25)
+        return RunReport.from_collector(
+            collector, meta={"granularity": "cell", "jobs": 2}
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        report = self.build()
+        path = report.save(tmp_path / "report.json")
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something-else/9"}')
+        with pytest.raises(ValueError, match="not a run report"):
+            RunReport.load(path)
+
+    def test_describe_lists_every_section(self):
+        text = self.build().describe()
+        assert "run report" in text
+        assert "cache.hits" in text and "memo.peak" in text
+        assert "phase/run" in text and "granularity" in text
+
+    def test_describe_empty_report(self):
+        assert "(empty)" in RunReport().describe()
+
+
+class TestMetricsPathValidation:
+    def test_directory_path_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="directory"):
+            validate_metrics_path(tmp_path)
+
+    def test_missing_parent_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            validate_metrics_path(tmp_path / "no" / "such" / "report.json")
+
+    def test_valid_path_accepted(self, tmp_path):
+        path = validate_metrics_path(tmp_path / "report.json")
+        assert path == tmp_path / "report.json"
+        assert not path.exists()  # the probe never creates the target
+
+
+class TestCLI:
+    def test_run_writes_report_and_report_command_reads_it(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        metrics = tmp_path / "report.json"
+        code = main([
+            "run", "Sensor", "outliers", "--splits", "2", "--cv-folds", "2",
+            "--rows", "80", "--models", "logistic_regression",
+            "--metrics", str(metrics), "--trace", "unit",
+        ])
+        assert code == 0
+        assert observability.metrics() is None  # uninstalled afterwards
+        report = RunReport.load(metrics)
+        assert report.counters and report.spans
+        assert report.meta["granularity"] == "split"
+        capsys.readouterr()
+        assert main(["report", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        assert "run report" in captured.out
+        assert "supervisor" in captured.out or "encode" in captured.out
+
+    def test_invalid_metrics_path_fails_before_running(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "Sensor", "outliers",
+            "--metrics", str(tmp_path / "missing-dir" / "report.json"),
+        ])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_report_command_missing_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", str(tmp_path / "nope.json")]) == 2
+        assert "no run report" in capsys.readouterr().err
+
+    def test_observability_flags_default_off(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["run", "Sensor", "outliers"])
+        assert args.metrics is None
+        assert args.trace == "off"
